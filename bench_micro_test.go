@@ -1,0 +1,133 @@
+package superneurons
+
+import (
+	"testing"
+
+	"repro/internal/gpumem"
+	"repro/internal/hw"
+	"repro/internal/liveness"
+	"repro/internal/nnet"
+	"repro/internal/program"
+	"repro/internal/recompute"
+	"repro/internal/sim"
+)
+
+// Micro-benchmarks of the library's own hot paths, complementing the
+// per-experiment harness above.
+
+// BenchmarkPoolAllocFree measures the heap-based GPU memory pool's
+// allocate/free pair — the operation whose amortization Table 2 is
+// about.
+func BenchmarkPoolAllocFree(b *testing.B) {
+	p := gpumem.NewPool(1<<30, sim.Microsecond)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, err := p.Alloc(1 << 20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := p.Free(a.ID); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPoolFragmented measures first-fit allocation on a pool with
+// a long free list.
+func BenchmarkPoolFragmented(b *testing.B) {
+	p := gpumem.NewPool(1<<30, sim.Microsecond)
+	// Build a fragmented free list: allocate 512 slots, free every
+	// other one.
+	var ids []int64
+	for i := 0; i < 512; i++ {
+		a, err := p.Alloc(1 << 20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ids = append(ids, a.ID)
+	}
+	for i := 0; i < len(ids); i += 2 {
+		if err := p.Free(ids[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, err := p.Alloc(1 << 20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := p.Free(a.ID); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRouteConstruction measures Algorithm 1 on ResNet-152 (567
+// basic layers with joins).
+func BenchmarkRouteConstruction(b *testing.B) {
+	net := nnet.ResNet(152, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := net.Route(); len(r) != len(net.Nodes) {
+			b.Fatal("bad route")
+		}
+	}
+}
+
+// BenchmarkProgramLowering measures lowering ResNet-50 to the tensor
+// program.
+func BenchmarkProgramLowering(b *testing.B) {
+	net := nnet.ResNet(50, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		program.Build(net)
+	}
+}
+
+// BenchmarkLivenessAnalysis measures the data-flow analysis on
+// Inception-v4 (~500 layers).
+func BenchmarkLivenessAnalysis(b *testing.B) {
+	p := program.Build(nnet.InceptionV4(8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		liveness.Analyze(p)
+	}
+}
+
+// BenchmarkRecomputePlan measures segment planning on ResNet-101.
+func BenchmarkRecomputePlan(b *testing.B) {
+	p := program.Build(nnet.ResNet(101, 16))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		recompute.BuildPlan(p, recompute.CostAware)
+	}
+}
+
+// BenchmarkIteration measures simulating one full SuperNeurons
+// training iteration of ResNet-50 at batch 32 (the simulator's own
+// speed, in real ns/op).
+func BenchmarkIteration(b *testing.B) {
+	net := nnet.ResNet(50, 32)
+	cfg := DefaultConfig(hw.TeslaK40c)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(net, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDeepIteration measures simulating a 1514-deep Table-4
+// ResNet iteration at batch 4 — the scalability case.
+func BenchmarkDeepIteration(b *testing.B) {
+	net := nnet.ResNetTable4(4, 460)
+	cfg := DefaultConfig(hw.TeslaK40c)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(net, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

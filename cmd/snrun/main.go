@@ -1,0 +1,123 @@
+// Command snrun simulates training one network under one memory
+// policy and prints the run summary, optionally with the per-step
+// memory profile.
+//
+// Usage:
+//
+//	snrun -net ResNet50 -batch 384 [-device k40c|titanxp]
+//	      [-framework SuperNeurons|Caffe|MXNet|Torch|TensorFlow]
+//	      [-pool-gib 12] [-iterations 1] [-profile] [-csv out.csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	superneurons "repro"
+	"repro/internal/hw"
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("snrun: ")
+	var (
+		netName   = flag.String("net", "AlexNet", "network: "+strings.Join(superneurons.Networks(), ", "))
+		batch     = flag.Int("batch", 128, "batch size")
+		device    = flag.String("device", "k40c", "device profile: k40c or titanxp")
+		framework = flag.String("framework", "SuperNeurons", "memory policy: SuperNeurons, Caffe, MXNet, Torch, TensorFlow")
+		poolGiB   = flag.Float64("pool-gib", 0, "override GPU pool size in GiB (0 = device default)")
+		iters     = flag.Int("iterations", 1, "training iterations to simulate")
+		profile   = flag.Bool("profile", false, "print the per-step memory profile")
+		csvPath   = flag.String("csv", "", "write the per-step profile as CSV to this file")
+		tracePath = flag.String("trace", "", "write a Chrome trace (chrome://tracing) of the timeline to this file")
+		diagram   = flag.Bool("diagram", false, "print the execution route with Fig.6-style fwd/bwd step numbering")
+	)
+	flag.Parse()
+
+	var dev superneurons.Device
+	switch strings.ToLower(*device) {
+	case "k40c":
+		dev = superneurons.TeslaK40c
+	case "titanxp":
+		dev = superneurons.TitanXP
+	default:
+		log.Fatalf("unknown device %q (want k40c or titanxp)", *device)
+	}
+
+	fw, ok := superneurons.FrameworkByName(*framework)
+	if !ok {
+		log.Fatalf("unknown framework %q", *framework)
+	}
+	cfg := fw.Config(dev)
+	if *poolGiB > 0 {
+		cfg.PoolBytes = int64(*poolGiB * float64(hw.GiB))
+	}
+	cfg.Iterations = *iters
+	cfg.CollectTrace = *tracePath != ""
+
+	net, err := superneurons.Build(*netName, *batch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *diagram {
+		fmt.Printf("execution route of %s (forward/backward step numbering, Alg. 1)\n\n", net.Name)
+		fmt.Print(net.RouteDiagram())
+		fmt.Println()
+	}
+	res, err := superneurons.Run(net, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("framework: %s on %s\n", fw.Name, dev.Name)
+	fmt.Print(superneurons.Summary(res))
+	fmt.Printf("  hottest steps    %s\n", strings.Join(superneurons.PeakSteps(res, 3), "; "))
+
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := trace.WriteChrome(f, res.Trace); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+		fmt.Print(trace.Summary(res.Trace))
+		fmt.Printf("chrome trace written to %s\n", *tracePath)
+	}
+
+	if *profile || *csvPath != "" {
+		t := metrics.NewTable("per-step profile",
+			"step", "label", "resident MiB", "tensors", "workspace MiB", "algo", "time")
+		for _, s := range res.Steps {
+			t.Add(fmt.Sprint(s.Index), s.Label, metrics.MiB(s.ResidentBytes),
+				fmt.Sprint(s.LiveTensors), metrics.MiB(s.WorkspaceBytes),
+				s.Algo.String(), s.Time.String())
+		}
+		if *profile {
+			fmt.Println()
+			fmt.Print(t.String())
+		}
+		if *csvPath != "" {
+			f, err := os.Create(*csvPath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := t.CSV(f); err != nil {
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("profile written to %s\n", *csvPath)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+// Command snsweep runs the capacity searches of the evaluation: the
+// deepest trainable ResNet (going deeper, Table 4) or the largest
+// trainable batch (going wider, Table 5) for every framework policy.
+//
+// Usage:
+//
+//	snsweep -mode deeper [-batch 16] [-max-n3 2600]
+//	snsweep -mode wider  [-net ResNet50] [-limit 2048]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	superneurons "repro"
+	"repro/internal/metrics"
+	"repro/internal/nnet"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("snsweep: ")
+	var (
+		mode  = flag.String("mode", "deeper", "deeper (Table 4) or wider (Table 5)")
+		batch = flag.Int("batch", 16, "batch size for the depth sweep")
+		maxN3 = flag.Int("max-n3", 2600, "upper bound of the stage-3 repeat count")
+		net   = flag.String("net", "ResNet50", "network for the batch sweep")
+		limit = flag.Int("limit", 2048, "upper bound of the batch search")
+	)
+	flag.Parse()
+
+	dev := superneurons.TeslaK40c
+	switch *mode {
+	case "deeper":
+		t := metrics.NewTable(
+			fmt.Sprintf("deepest trainable ResNet at batch %d on %s", *batch, dev.Name),
+			"framework", "depth", "n3", "basic layers")
+		for _, f := range superneurons.Frameworks() {
+			n3, depth, err := superneurons.MaxDepth(f, dev, *batch, *maxN3)
+			if err != nil {
+				log.Fatalf("%s: %v", f.Name, err)
+			}
+			layers := 0
+			if n3 > 0 {
+				layers = nnet.ResNetTable4(1, n3).BasicLayers()
+			}
+			t.Add(f.Name, fmt.Sprint(depth), fmt.Sprint(n3), fmt.Sprint(layers))
+		}
+		fmt.Print(t.String())
+	case "wider":
+		t := metrics.NewTable(
+			fmt.Sprintf("largest trainable batch for %s on %s", *net, dev.Name),
+			"framework", "batch")
+		for _, f := range superneurons.Frameworks() {
+			b, err := superneurons.MaxBatch(f, *net, dev, *limit)
+			if err != nil {
+				log.Fatalf("%s: %v", f.Name, err)
+			}
+			t.Add(f.Name, fmt.Sprint(b))
+		}
+		fmt.Print(t.String())
+	default:
+		log.Fatalf("unknown mode %q", *mode)
+	}
+}

@@ -1,0 +1,71 @@
+// Command sntables regenerates every table and figure of the paper's
+// evaluation on the simulated substrate and prints them next to the
+// paper's published numbers. Its full output is the source of
+// EXPERIMENTS.md.
+//
+// Usage:
+//
+//	sntables            # everything (takes a minute or two)
+//	sntables -only table4,fig10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sntables: ")
+	only := flag.String("only", "", "comma-separated subset: table1..table5, fig2, fig8, fig10..fig14")
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, k := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(strings.ToLower(k))] = true
+		}
+	}
+	sel := func(k string) bool { return len(want) == 0 || want[k] }
+
+	run := func(key, note string, fn func() string) {
+		if !sel(key) {
+			return
+		}
+		start := time.Now()
+		out := fn()
+		fmt.Println(out)
+		if note != "" {
+			fmt.Println(note)
+		}
+		fmt.Printf("[%s regenerated in %v]\n\n", key, time.Since(start).Round(time.Millisecond))
+	}
+
+	run("table1", "", func() string { return experiments.Table1().String() })
+	run("table2", "", func() string { return experiments.Table2().String() })
+	run("table3", "", func() string { return experiments.Table3().String() })
+	run("table4", "", func() string { return experiments.Table4().String() })
+
+	var t5 map[string]map[string]int
+	needT5 := sel("table5") || sel("fig13")
+	if needT5 {
+		t5 = experiments.Table5Data()
+	}
+	run("table5", "", func() string { return experiments.Table5(t5).String() })
+
+	run("fig2", "", func() string { return experiments.Fig2().String() })
+	run("fig8", "", func() string {
+		a, b := experiments.Fig8()
+		return a.String() + "\n" + b.String()
+	})
+	run("fig10", "", func() string { return experiments.Fig10(experiments.Fig10Runs()) })
+	run("fig11", "", func() string { return experiments.Fig11().String() })
+	run("fig12", "", func() string { return experiments.Fig12() })
+	run("fig13", "", func() string { return experiments.Fig13(t5).String() })
+	run("fig14", "", func() string { return experiments.Fig14() })
+}

@@ -1,0 +1,52 @@
+// Deepresnet reproduces the paper's headline capability: training
+// ResNets far beyond what fits under naive allocation, up to the
+// ResNet-2500 with ~10^4 basic layers that SuperNeurons trains at
+// batch 1 on a 12 GB K40c (§4.2).
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	superneurons "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	dev := superneurons.TeslaK40c
+
+	// Depth scaling at batch 16: where the naive strategy dies vs how
+	// far the full runtime goes (Table 4's setting: n1=6, n2=32, n4=6).
+	fmt.Printf("depth scaling at batch 16 on %s (Table 4 ResNet family)\n", dev.Name)
+	fmt.Printf("%-8s  %-12s  %-14s\n", "depth", "baseline", "superneurons")
+	for _, n3 := range []int{6, 60, 150, 300, 600, 1200} {
+		depth := 3*(6+32+n3+6) + 2
+		status := func(cfg superneurons.Config) string {
+			net := superneurons.BuildResNet(16, 6, 32, n3, 6)
+			r, err := superneurons.Run(net, cfg)
+			if errors.Is(err, superneurons.ErrOutOfMemory) {
+				return "OOM"
+			}
+			if err != nil {
+				log.Fatal(err)
+			}
+			return fmt.Sprintf("%.1f img/s", r.Throughput)
+		}
+		fmt.Printf("%-8d  %-12s  %-14s\n", depth,
+			status(superneurons.BaselineConfig(dev)),
+			status(superneurons.DefaultConfig(dev)))
+	}
+
+	// The ResNet-2500: n3 = 789 gives depth 3*(6+32+789+6)+2 = 2501
+	// with ~10^4 basic layers, trained at batch 1.
+	net := superneurons.BuildResNet(1, 6, 32, 789, 6)
+	fmt.Printf("\n%s: %d basic layers, %d weighted layers, batch 1\n",
+		net.Name, net.BasicLayers(), net.ConvDepth())
+	r, err := superneurons.Run(net, superneurons.DefaultConfig(dev))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(superneurons.Summary(r))
+	fmt.Printf("the paper trains the same ResNet-2500 (~10^4 basic layers) on its 12 GB K40c\n")
+}

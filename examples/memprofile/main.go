@@ -1,0 +1,68 @@
+// Memprofile renders the paper's Fig. 10 for any network: step-wise
+// GPU memory under the stacked memory techniques (baseline, liveness,
+// +offload/prefetch, +cost-aware recomputation).
+//
+// Usage: memprofile [network] [batch]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+
+	superneurons "repro"
+	"repro/internal/metrics"
+	"repro/internal/recompute"
+	"repro/internal/utp"
+)
+
+func main() {
+	log.SetFlags(0)
+	network, batch := "AlexNet", 200
+	if len(os.Args) > 1 {
+		network = os.Args[1]
+	}
+	if len(os.Args) > 2 {
+		b, err := strconv.Atoi(os.Args[2])
+		if err != nil {
+			log.Fatalf("bad batch %q: %v", os.Args[2], err)
+		}
+		batch = b
+	}
+	dev := superneurons.TeslaK40c
+
+	base := superneurons.BaselineConfig(dev)
+	live := base
+	live.Liveness = true
+	off := live
+	off.Offload = utp.OffloadConvAndKept
+	off.Prefetch = true
+	rec := off
+	rec.Recompute = recompute.CostAware
+
+	names := []string{"baseline", "liveness", "+offload", "+recompute"}
+	var series []metrics.Series
+	fmt.Printf("step-wise memory for %s batch %d on %s\n\n", network, batch, dev.Name)
+	for i, cfg := range []superneurons.Config{base, live, off, rec} {
+		net, err := superneurons.Build(network, batch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r, err := superneurons.Run(net, cfg)
+		if err != nil {
+			log.Fatalf("%s: %v (try a smaller batch)", names[i], err)
+		}
+		s := metrics.Series{Name: names[i]}
+		for _, st := range r.Steps {
+			s.X = append(s.X, float64(st.Index))
+			s.Y = append(s.Y, float64(st.ResidentBytes)/(1<<20))
+		}
+		series = append(series, s)
+		fmt.Printf("%-11s peak %8.2f MiB at %-12s traffic %7.1f MiB  %6.1f img/s\n",
+			names[i], float64(r.PeakResident)/(1<<20), r.Steps[r.PeakStep].Label,
+			float64(r.TotalTraffic())/(1<<20), r.Throughput)
+	}
+	fmt.Println()
+	fmt.Print(metrics.Chart("resident MiB per step (forward then backward)", series, 96, 24))
+}

@@ -1,0 +1,52 @@
+// Widebatch explores batch-size capacity (the paper's "going wider",
+// Table 5): the largest trainable batch for every framework memory
+// policy on a chosen network, and the throughput trade-off as the
+// batch approaches each limit.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	superneurons "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	network := "ResNet50"
+	if len(os.Args) > 1 {
+		network = os.Args[1]
+	}
+	dev := superneurons.TeslaK40c
+
+	fmt.Printf("largest trainable batch for %s on %s\n\n", network, dev.Name)
+	fmt.Printf("%-14s %8s %14s\n", "framework", "batch", "img/s at peak")
+	best := 0
+	for _, f := range superneurons.Frameworks() {
+		b, err := superneurons.MaxBatch(f, network, dev, 4096)
+		if err != nil {
+			log.Fatal(err)
+		}
+		speed := "OOM"
+		if b > 0 {
+			imgs, err := superneurons.Throughput(f, network, b, dev)
+			if err != nil {
+				log.Fatal(err)
+			}
+			speed = fmt.Sprintf("%.1f", imgs)
+		}
+		fmt.Printf("%-14s %8d %14s\n", f.Name, b, speed)
+		if f.Name != "SuperNeurons" && b > best {
+			best = b
+		}
+	}
+
+	sn, _ := superneurons.FrameworkByName("SuperNeurons")
+	snBatch, err := superneurons.MaxBatch(sn, network, dev, 4096)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nSuperNeurons trains %.1fx the second-best batch (paper: 1.89x on average)\n",
+		float64(snBatch)/float64(best))
+}

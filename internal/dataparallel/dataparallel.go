@@ -1,0 +1,130 @@
+// Package dataparallel models synchronous data-parallel training on
+// top of the per-GPU SuperNeurons runtime. The paper (§2.1) frames its
+// contribution inside this regime: every GPU holds a network replica
+// and computes a sub-gradient over a sub-batch, and the sub-gradients
+// are aggregated into one global gradient before the weight update —
+// the only inter-GPU communication, exchanged here with a bandwidth-
+// optimal ring all-reduce (Wang et al. [25]).
+//
+// Replicas are deterministic and identical, so one simulated replica
+// characterizes them all; the package composes its iteration time with
+// the all-reduce cost over the chosen interconnect.
+package dataparallel
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/nnet"
+	"repro/internal/sim"
+)
+
+// Config describes a data-parallel training setup.
+type Config struct {
+	// Replicas is the number of GPUs, each holding a full replica.
+	Replicas int
+	// PerGPU configures each replica's runtime.
+	PerGPU core.Config
+	// Interconnect carries the gradient exchange (PCIe P2P when zero).
+	Interconnect hw.LinkSpec
+	// OverlapComm overlaps the all-reduce with the tail of the
+	// backward pass (bucketed gradient exchange); without it the
+	// exchange serializes after the iteration.
+	OverlapComm bool
+}
+
+// Result summarizes one data-parallel iteration.
+type Result struct {
+	Replicas int
+	// Replica is the per-GPU profile (identical across GPUs).
+	Replica *core.Result
+	// GradientBytes is the per-replica gradient volume exchanged.
+	GradientBytes int64
+	// AllReduceTime is the ring all-reduce duration; ExposedComm the
+	// part not hidden behind computation.
+	AllReduceTime sim.Duration
+	ExposedComm   sim.Duration
+	// IterTime is the global iteration time; GlobalThroughput the
+	// aggregate img/s across replicas.
+	IterTime          sim.Duration
+	GlobalThroughput  float64
+	ScalingEfficiency float64 // GlobalThroughput / (Replicas × single-GPU throughput)
+}
+
+// RingAllReduceTime returns the classic ring all-reduce cost for n
+// bytes across k participants: 2(k-1)/k of the data crosses each
+// link, plus per-step latency.
+func RingAllReduceTime(link hw.LinkSpec, bytes int64, k int) sim.Duration {
+	if k <= 1 {
+		return 0
+	}
+	steps := 2 * (k - 1)
+	chunk := bytes / int64(k)
+	var total sim.Duration
+	for i := 0; i < steps; i++ {
+		total += link.TransferTime(chunk)
+	}
+	return total
+}
+
+// Run simulates one synchronous data-parallel iteration: build
+// constructs the per-GPU replica at the per-GPU batch size.
+func Run(build nnet.BuilderFunc, perGPUBatch int, cfg Config) (*Result, error) {
+	if cfg.Replicas < 1 {
+		return nil, fmt.Errorf("dataparallel: need at least one replica, got %d", cfg.Replicas)
+	}
+	if cfg.Interconnect.BytesPerSec == 0 {
+		cfg.Interconnect = hw.PCIeP2P
+	}
+	net := build(perGPUBatch)
+	rep, err := core.Run(net, cfg.PerGPU)
+	if err != nil {
+		return nil, fmt.Errorf("dataparallel: replica: %w", err)
+	}
+	grad := net.ParamBytes()
+	ar := RingAllReduceTime(cfg.Interconnect, grad, cfg.Replicas)
+
+	exposed := ar
+	if cfg.OverlapComm && cfg.Replicas > 1 {
+		// Bucketed exchange hides communication behind the backward
+		// half of the iteration; only the remainder is exposed.
+		bwdWindow := rep.IterTime / 2
+		if ar > bwdWindow {
+			exposed = ar - bwdWindow
+		} else {
+			exposed = 0
+		}
+	}
+
+	iter := rep.IterTime + exposed
+	res := &Result{
+		Replicas:      cfg.Replicas,
+		Replica:       rep,
+		GradientBytes: grad,
+		AllReduceTime: ar,
+		ExposedComm:   exposed,
+		IterTime:      iter,
+	}
+	if iter > 0 {
+		res.GlobalThroughput = float64(cfg.Replicas*perGPUBatch) / iter.Seconds()
+		res.ScalingEfficiency = res.GlobalThroughput / (float64(cfg.Replicas) * rep.Throughput)
+	}
+	return res, nil
+}
+
+// Scaling sweeps the replica count and returns one Result per entry
+// of counts, sharing the per-GPU configuration.
+func Scaling(build nnet.BuilderFunc, perGPUBatch int, cfg Config, counts []int) ([]*Result, error) {
+	out := make([]*Result, len(counts))
+	for i, k := range counts {
+		c := cfg
+		c.Replicas = k
+		r, err := Run(build, perGPUBatch, c)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = r
+	}
+	return out, nil
+}

@@ -1,0 +1,266 @@
+// Package gpumem implements the memory-management substrate of the
+// SuperNeurons runtime (§3.2.1 of the paper):
+//
+//   - Pool: a fast heap-based allocator over one big preallocated
+//     region, carved into 1 KiB blocks, with a first-fit free list, an
+//     ID→node table for O(1) deallocation lookup, and free-span
+//     coalescing. Pool operations cost ~1 µs of virtual time, which
+//     amortizes away the cudaMalloc/cudaFree overhead that costs
+//     ResNet-50 36% of its iteration time on the native allocator.
+//
+//   - Native: a cost model of cudaMalloc/cudaFree (cudaFree
+//     synchronizes the device, making it the more expensive call).
+//
+// Both implement Allocator so the runtime can swap them (Table 2 of the
+// paper compares exactly this).
+package gpumem
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// BlockSize is the basic storage unit of the pool. The paper divides
+// the preallocated region into 1 KB blocks.
+const BlockSize int64 = 1024
+
+// ErrOutOfMemory is returned when an allocation cannot be satisfied.
+var ErrOutOfMemory = errors.New("gpumem: out of memory")
+
+// Allocation identifies a live allocation.
+type Allocation struct {
+	ID    int64 // node ID, key for Free
+	Addr  int64 // byte offset within the managed region
+	Bytes int64 // rounded-up extent actually reserved
+}
+
+// Allocator is the common interface of the pool and the native
+// cost-model allocator. Implementations are not safe for concurrent
+// use; every simulated device owns its own instance.
+type Allocator interface {
+	// Alloc reserves n bytes and returns the allocation handle.
+	Alloc(n int64) (Allocation, error)
+	// Free releases a previous allocation by ID.
+	Free(id int64) error
+	// AllocCost and FreeCost are the virtual-time prices of one call.
+	AllocCost() sim.Duration
+	FreeCost() sim.Duration
+	// Used is the current reserved footprint; Peak its high-water mark.
+	Used() int64
+	Peak() int64
+	// Capacity is the total manageable size.
+	Capacity() int64
+	// MaxAlloc is the largest single allocation that can currently
+	// succeed (bounded by fragmentation for the pool).
+	MaxAlloc() int64
+}
+
+type span struct {
+	id   int64
+	addr int64
+	size int64
+}
+
+// Stats aggregates allocator activity for reporting.
+type Stats struct {
+	Allocs       int64
+	Frees        int64
+	FailedAllocs int64
+	BytesServed  int64
+}
+
+// Pool is the heap-based preallocated memory pool.
+type Pool struct {
+	capacity int64
+	opCost   sim.Duration
+
+	free   []span // sorted by addr, fully coalesced
+	allocd map[int64]span
+	nextID int64
+
+	used  int64
+	peak  int64
+	stats Stats
+}
+
+// NewPool preallocates a pool of the given capacity (rounded down to a
+// whole number of blocks) whose operations cost opCost virtual time.
+func NewPool(capacity int64, opCost sim.Duration) *Pool {
+	capacity = capacity / BlockSize * BlockSize
+	if capacity <= 0 {
+		panic("gpumem: pool capacity must be at least one block")
+	}
+	return &Pool{
+		capacity: capacity,
+		opCost:   opCost,
+		free:     []span{{addr: 0, size: capacity}},
+		allocd:   make(map[int64]span),
+		nextID:   1,
+	}
+}
+
+func roundUp(n int64) int64 {
+	if n <= 0 {
+		n = 1
+	}
+	return (n + BlockSize - 1) / BlockSize * BlockSize
+}
+
+// Alloc reserves n bytes (rounded up to whole blocks) using first-fit.
+func (p *Pool) Alloc(n int64) (Allocation, error) {
+	need := roundUp(n)
+	for i, f := range p.free {
+		if f.size < need {
+			continue
+		}
+		a := Allocation{ID: p.nextID, Addr: f.addr, Bytes: need}
+		p.nextID++
+		if f.size == need {
+			p.free = append(p.free[:i], p.free[i+1:]...)
+		} else {
+			p.free[i] = span{addr: f.addr + need, size: f.size - need}
+		}
+		p.allocd[a.ID] = span{id: a.ID, addr: a.Addr, size: need}
+		p.used += need
+		if p.used > p.peak {
+			p.peak = p.used
+		}
+		p.stats.Allocs++
+		p.stats.BytesServed += need
+		return a, nil
+	}
+	p.stats.FailedAllocs++
+	return Allocation{}, fmt.Errorf("%w: need %d bytes, free %d (largest contiguous %d)",
+		ErrOutOfMemory, need, p.capacity-p.used, p.LargestFree())
+}
+
+// Free returns an allocation to the pool, coalescing with neighbors.
+func (p *Pool) Free(id int64) error {
+	s, ok := p.allocd[id]
+	if !ok {
+		return fmt.Errorf("gpumem: free of unknown allocation %d", id)
+	}
+	delete(p.allocd, id)
+	p.used -= s.size
+	p.stats.Frees++
+
+	// Insert into the address-ordered free list and coalesce.
+	i := sort.Search(len(p.free), func(i int) bool { return p.free[i].addr > s.addr })
+	p.free = append(p.free, span{})
+	copy(p.free[i+1:], p.free[i:])
+	p.free[i] = span{addr: s.addr, size: s.size}
+	// Coalesce with successor.
+	if i+1 < len(p.free) && p.free[i].addr+p.free[i].size == p.free[i+1].addr {
+		p.free[i].size += p.free[i+1].size
+		p.free = append(p.free[:i+1], p.free[i+2:]...)
+	}
+	// Coalesce with predecessor.
+	if i > 0 && p.free[i-1].addr+p.free[i-1].size == p.free[i].addr {
+		p.free[i-1].size += p.free[i].size
+		p.free = append(p.free[:i], p.free[i+1:]...)
+	}
+	return nil
+}
+
+// AllocCost returns the virtual-time price of one pool allocation.
+func (p *Pool) AllocCost() sim.Duration { return p.opCost }
+
+// FreeCost returns the virtual-time price of one pool deallocation.
+func (p *Pool) FreeCost() sim.Duration { return p.opCost }
+
+// Used returns the currently reserved bytes.
+func (p *Pool) Used() int64 { return p.used }
+
+// Peak returns the highest reserved footprint observed.
+func (p *Pool) Peak() int64 { return p.peak }
+
+// Capacity returns the pool's total size.
+func (p *Pool) Capacity() int64 { return p.capacity }
+
+// FreeBytes returns the total unreserved bytes.
+func (p *Pool) FreeBytes() int64 { return p.capacity - p.used }
+
+// MaxAlloc returns the largest single allocation that can currently
+// succeed: the largest contiguous free extent.
+func (p *Pool) MaxAlloc() int64 { return p.LargestFree() }
+
+// LargestFree returns the largest contiguous free extent; allocations
+// larger than this fail even if FreeBytes would suffice.
+func (p *Pool) LargestFree() int64 {
+	var m int64
+	for _, f := range p.free {
+		if f.size > m {
+			m = f.size
+		}
+	}
+	return m
+}
+
+// Fragmentation returns 1 - largest/total free space, in [0,1]. An
+// empty or fully-allocated pool reports 0.
+func (p *Pool) Fragmentation() float64 {
+	free := p.FreeBytes()
+	if free == 0 {
+		return 0
+	}
+	return 1 - float64(p.LargestFree())/float64(free)
+}
+
+// Live returns the number of live allocations.
+func (p *Pool) Live() int { return len(p.allocd) }
+
+// Stats returns a copy of the activity counters.
+func (p *Pool) Stats() Stats { return p.stats }
+
+// ResetPeak restarts peak tracking from the current usage, so callers
+// can measure per-phase high-water marks.
+func (p *Pool) ResetPeak() { p.peak = p.used }
+
+// CheckInvariants validates internal consistency; it is exercised by
+// property-based tests and returns a descriptive error on violation.
+func (p *Pool) CheckInvariants() error {
+	var freeBytes int64
+	for i, f := range p.free {
+		if f.size <= 0 || f.addr < 0 || f.addr+f.size > p.capacity {
+			return fmt.Errorf("free span %d out of range: %+v", i, f)
+		}
+		if f.addr%BlockSize != 0 || f.size%BlockSize != 0 {
+			return fmt.Errorf("free span %d not block aligned: %+v", i, f)
+		}
+		if i > 0 {
+			prev := p.free[i-1]
+			if prev.addr+prev.size > f.addr {
+				return fmt.Errorf("free spans overlap: %+v then %+v", prev, f)
+			}
+			if prev.addr+prev.size == f.addr {
+				return fmt.Errorf("free spans not coalesced: %+v then %+v", prev, f)
+			}
+		}
+		freeBytes += f.size
+	}
+	var usedBytes int64
+	spans := make([]span, 0, len(p.allocd))
+	for id, s := range p.allocd {
+		if s.id != id {
+			return fmt.Errorf("allocated span id mismatch: %d vs %+v", id, s)
+		}
+		usedBytes += s.size
+		spans = append(spans, s)
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].addr < spans[j].addr })
+	for i := 1; i < len(spans); i++ {
+		if spans[i-1].addr+spans[i-1].size > spans[i].addr {
+			return fmt.Errorf("allocated spans overlap: %+v then %+v", spans[i-1], spans[i])
+		}
+	}
+	if usedBytes != p.used {
+		return fmt.Errorf("used accounting drift: sum %d vs counter %d", usedBytes, p.used)
+	}
+	if freeBytes+usedBytes != p.capacity {
+		return fmt.Errorf("free+used = %d, capacity %d", freeBytes+usedBytes, p.capacity)
+	}
+	return nil
+}

@@ -1,0 +1,170 @@
+package layers
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/tensor"
+)
+
+// everyType returns one instance of every layer type over a common
+// shape.
+func everyType() []Spec {
+	in := tensor.Shape{N: 4, C: 16, H: 16, W: 16}
+	return []Spec{
+		NewData("d", in),
+		NewConv("c", in, 32, 3, 1, 1),
+		NewPool("p", in, 2, 2, 0, false),
+		NewAct("a", in),
+		NewLRN("l", in),
+		NewBN("b", in),
+		NewFC("f", in, 64),
+		NewDropout("dr", in),
+		NewSoftmax("s", in),
+		NewConcat("cat", in, in),
+		NewEltwise("e", in, in),
+	}
+}
+
+func TestCostModelCoversEveryType(t *testing.T) {
+	for _, s := range everyType() {
+		s := s
+		if s.Type != Data {
+			if s.FwdFLOPs() <= 0 {
+				t.Errorf("%s: non-positive forward FLOPs", s.Type)
+			}
+			if s.BwdFLOPs() < s.FwdFLOPs() {
+				t.Errorf("%s: backward FLOPs below forward", s.Type)
+			}
+			if s.BwdTime(hw.TitanXP, 1) <= 0 {
+				t.Errorf("%s: non-positive backward time", s.Type)
+			}
+		} else {
+			if s.FwdFLOPs() != 0 || s.BwdFLOPs() != 0 || s.BwdTime(hw.TitanXP, 1) != 0 {
+				t.Error("data layer must be free")
+			}
+		}
+		if s.FwdBytes() <= 0 || s.FwdTime(hw.TitanXP, 1) <= 0 {
+			t.Errorf("%s: non-positive forward traffic/time", s.Type)
+		}
+		if s.BwdBytes() < 0 {
+			t.Errorf("%s: negative backward traffic", s.Type)
+		}
+	}
+}
+
+func TestGroupedConvHalvesWorkNotActivations(t *testing.T) {
+	in := tensor.Shape{N: 8, C: 96, H: 27, W: 27}
+	plain := NewConv("c", in, 256, 5, 1, 2)
+	grouped := NewConvGrouped("g", in, 256, 5, 1, 2, 2)
+	if grouped.Out != plain.Out {
+		t.Fatal("grouping must not change the output shape")
+	}
+	if grouped.FwdFLOPs() != plain.FwdFLOPs()/2 {
+		t.Errorf("grouped FLOPs = %g, want half of %g", grouped.FwdFLOPs(), plain.FwdFLOPs())
+	}
+	// Params: weights halve, biases do not.
+	wantW := (int64(256)*96*25/2 + 256) * 4
+	if grouped.ParamBytes() != wantW {
+		t.Errorf("grouped params = %d, want %d", grouped.ParamBytes(), wantW)
+	}
+}
+
+func TestGroupedConvValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("indivisible group count must panic")
+		}
+	}()
+	NewConvGrouped("bad", tensor.Shape{N: 1, C: 3, H: 8, W: 8}, 8, 3, 1, 1, 2)
+}
+
+func TestRectConvGeometryAndCost(t *testing.T) {
+	in := tensor.Shape{N: 2, C: 64, H: 17, W: 17}
+	r := NewConvRect("r", in, 96, 1, 7, 1, 0, 3)
+	if r.Out.H != 17 || r.Out.W != 17 {
+		t.Fatalf("1x7 conv out = %v", r.Out)
+	}
+	// FLOPs proportional to kh*kw = 7, not 49.
+	sq := NewConv("s", in, 96, 7, 1, 3)
+	if r.FwdFLOPs() >= sq.FwdFLOPs() {
+		t.Error("1x7 must cost less than 7x7")
+	}
+	if !strings.Contains(r.String(), "k1x7") {
+		t.Errorf("rect conv String = %q", r.String())
+	}
+}
+
+func TestGlobalPoolCollapsesBothAxes(t *testing.T) {
+	in := tensor.Shape{N: 2, C: 32, H: 8, W: 12} // non-square
+	g := NewGlobalPool("g", in)
+	if g.Out.H != 1 || g.Out.W != 1 || g.Out.C != 32 {
+		t.Fatalf("global pool out = %v", g.Out)
+	}
+	if !g.Avg {
+		t.Error("global pool must average")
+	}
+}
+
+func TestAuxAndParamFootprints(t *testing.T) {
+	in := tensor.Shape{N: 4, C: 16, H: 8, W: 8}
+	bn := NewBN("b", in)
+	if bn.ParamBytes() != 4*16*4 {
+		t.Errorf("BN params = %d", bn.ParamBytes())
+	}
+	if bn.AuxBytes() != 2*16*4 {
+		t.Errorf("BN aux = %d", bn.AuxBytes())
+	}
+	dr := NewDropout("d", in)
+	if dr.AuxBytes() != in.Bytes() {
+		t.Errorf("dropout reserve = %d, want %d", dr.AuxBytes(), in.Bytes())
+	}
+	for _, s := range []Spec{NewAct("a", in), NewPool("p", in, 2, 2, 0, false), NewConcat("c", in, in)} {
+		if s.ParamBytes() != 0 || s.AuxBytes() != 0 {
+			t.Errorf("%s must have no persistent state", s.Type)
+		}
+	}
+}
+
+func TestInvalidGeometryPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewConv("c", tensor.Shape{N: 1, C: 1, H: 2, W: 2}, 1, 5, 1, 0) },
+		func() { NewPool("p", tensor.Shape{N: 1, C: 1, H: 1, W: 1}, 3, 2, 0, false) },
+		func() { NewConcat("one", tensor.Shape{N: 1, C: 1, H: 1, W: 1}) },
+		func() { NewEltwise("one", tensor.Shape{N: 1, C: 1, H: 1, W: 1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid construction must panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestKernelTimeSpeedupPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-positive speedup must panic")
+		}
+	}()
+	c := NewConv("c", tensor.Shape{N: 1, C: 3, H: 8, W: 8}, 4, 3, 1, 1)
+	c.FwdTime(hw.TitanXP, 0)
+}
+
+func TestSpecString(t *testing.T) {
+	c := NewConv("conv1", tensor.Shape{N: 1, C: 3, H: 227, W: 227}, 96, 11, 4, 0)
+	s := c.String()
+	for _, want := range []string{"CONV", "conv1", "k11s4p0", "96x55x55"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String %q missing %q", s, want)
+		}
+	}
+	d := NewData("data", tensor.Shape{N: 1, C: 3, H: 4, W: 4})
+	if !strings.Contains(d.String(), "DATA") {
+		t.Errorf("data String = %q", d.String())
+	}
+}

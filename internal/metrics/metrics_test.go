@@ -1,0 +1,94 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("T", "name", "value")
+	tb.Add("a", "1")
+	tb.Add("longer-name", "22")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[1], "name") {
+		t.Errorf("header line = %q", lines[1])
+	}
+	// Columns align: "value" column starts at the same offset in every row.
+	off := strings.Index(lines[1], "value")
+	if lines[3][off:off+1] != "1" && lines[4][off:off+1] != "1" {
+		t.Errorf("misaligned columns:\n%s", out)
+	}
+}
+
+func TestTableAddf(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.Addf("%d|%s", 7, "x")
+	if tb.Rows[0][0] != "7" || tb.Rows[0][1] != "x" {
+		t.Errorf("Addf rows = %v", tb.Rows)
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.Add(`he said "hi"`, "x,y")
+	var sb strings.Builder
+	if err := tb.CSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n\"he said \"\"hi\"\"\",\"x,y\"\n"
+	if sb.String() != want {
+		t.Errorf("csv = %q, want %q", sb.String(), want)
+	}
+}
+
+func TestByteFormats(t *testing.T) {
+	if MiB(1<<20) != "1.00" || GiB(3<<30) != "3.00" {
+		t.Error("byte formatting wrong")
+	}
+}
+
+func TestChartContainsAllSeries(t *testing.T) {
+	s := []Series{
+		{Name: "up", X: []float64{0, 1, 2}, Y: []float64{0, 1, 2}},
+		{Name: "down", X: []float64{0, 1, 2}, Y: []float64{2, 1, 0}},
+	}
+	out := Chart("demo", s, 20, 8)
+	if !strings.Contains(out, "up") || !strings.Contains(out, "down") {
+		t.Error("legend missing")
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Errorf("marks missing:\n%s", out)
+	}
+	if !strings.Contains(out, "x: 0 .. 2") {
+		t.Errorf("x range missing:\n%s", out)
+	}
+}
+
+func TestChartDegenerateRanges(t *testing.T) {
+	out := Chart("flat", []Series{{Name: "c", X: []float64{1}, Y: []float64{5}}}, 3, 2)
+	if out == "" {
+		t.Fatal("degenerate chart must still render")
+	}
+}
+
+func TestBars(t *testing.T) {
+	out := Bars("b", []string{"x", "yy"}, []float64{1, 2}, 10)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("bars lines = %d", len(lines))
+	}
+	if strings.Count(lines[2], "#") != 10 || strings.Count(lines[1], "#") != 5 {
+		t.Errorf("bar scaling wrong:\n%s", out)
+	}
+}
+
+func TestBarsAllZero(t *testing.T) {
+	out := Bars("z", []string{"a"}, []float64{0}, 10)
+	if strings.Contains(out, "#") {
+		t.Error("zero bars must be empty")
+	}
+}

@@ -1,0 +1,151 @@
+// Package modelparallel models the alternative the paper rejects in
+// §2.1: dissecting the network across GPUs (DistBelief / Coates et
+// al.) so each device holds a contiguous segment of layers. Without
+// pipelining, only one segment computes at a time while activations
+// and gradients cross the interconnect at every cut — which is why the
+// paper reports such splits "compromise at least 40% speed" and builds
+// SuperNeurons for the data-parallel regime instead.
+//
+// The model partitions the forward route into compute-balanced
+// contiguous segments, charges each boundary tensor's transfer in both
+// passes, and reports the utilization loss relative to a single
+// (memory-unconstrained) device.
+package modelparallel
+
+import (
+	"fmt"
+
+	"repro/internal/hw"
+	"repro/internal/nnet"
+	"repro/internal/sim"
+)
+
+// Config describes a layer-wise model-parallel split.
+type Config struct {
+	// GPUs is the number of contiguous segments.
+	GPUs int
+	// Device is the per-GPU profile; Interconnect carries the boundary
+	// tensors (PCIe P2P when zero).
+	Device       hw.DeviceSpec
+	Interconnect hw.LinkSpec
+}
+
+// Result summarizes one model-parallel iteration.
+type Result struct {
+	GPUs int
+	// SegmentTime is each segment's forward+backward compute time.
+	SegmentTime []sim.Duration
+	// BoundaryBytes is the activation volume crossing each cut (the
+	// same volume returns as gradients in the backward pass).
+	BoundaryBytes []int64
+	// CommTime is the total inter-GPU transfer time per iteration.
+	CommTime sim.Duration
+	// IterTime is the serial iteration time; SingleGPU the
+	// one-device reference; Utilization the per-GPU average busy
+	// fraction; Slowdown = IterTime / SingleGPU.
+	IterTime    sim.Duration
+	SingleGPU   sim.Duration
+	Utilization float64
+	Slowdown    float64
+	Throughput  float64 // img/s
+}
+
+// Run simulates one iteration of the layer-wise split. Memory is
+// assumed sufficient on each device (the paper's §2.1 compares the
+// *speed* of the approaches).
+func Run(net *nnet.Net, cfg Config) (*Result, error) {
+	if cfg.GPUs < 1 {
+		return nil, fmt.Errorf("modelparallel: need at least one GPU, got %d", cfg.GPUs)
+	}
+	if cfg.Interconnect.BytesPerSec == 0 {
+		cfg.Interconnect = hw.PCIeP2P
+	}
+	route := net.Route()
+	cost := make([]sim.Duration, len(route))
+	var total sim.Duration
+	for i, nd := range route {
+		cost[i] = nd.L.FwdTime(cfg.Device, 1) + nd.L.BwdTime(cfg.Device, 1)
+		total += cost[i]
+	}
+
+	// Balanced contiguous partition: greedy fill to total/GPUs.
+	bounds := partition(cost, cfg.GPUs)
+	res := &Result{GPUs: cfg.GPUs, SingleGPU: total}
+	start := 0
+	for _, end := range bounds {
+		var seg sim.Duration
+		for i := start; i < end; i++ {
+			seg += cost[i]
+		}
+		res.SegmentTime = append(res.SegmentTime, seg)
+		if end < len(route) {
+			// Every edge crossing the cut carries its tensor forward
+			// and its gradient backward.
+			var bytes int64
+			inSeg := make(map[int]bool, end-start)
+			for i := start; i < end; i++ {
+				inSeg[route[i].ID] = true
+			}
+			for i := start; i < end; i++ {
+				for _, nx := range route[i].Next {
+					if !inSeg[nx.ID] {
+						bytes += route[i].L.OutBytes()
+						break
+					}
+				}
+			}
+			res.BoundaryBytes = append(res.BoundaryBytes, bytes)
+			res.CommTime += 2 * cfg.Interconnect.TransferTime(bytes)
+		}
+		start = end
+	}
+
+	// Serial execution: segments run one after another in both passes,
+	// with the boundary transfers in between.
+	res.IterTime = total + res.CommTime
+	if res.IterTime > 0 {
+		res.Slowdown = float64(res.IterTime) / float64(total)
+		// Each GPU is busy only for its own segment.
+		var busy sim.Duration
+		for _, s := range res.SegmentTime {
+			busy += s
+		}
+		res.Utilization = float64(busy) / (float64(cfg.GPUs) * float64(res.IterTime))
+		res.Throughput = float64(net.Batch()) / res.IterTime.Seconds()
+	}
+	return res, nil
+}
+
+// partition returns the end indices of a greedy compute-balanced
+// contiguous split of cost into k parts.
+func partition(cost []sim.Duration, k int) []int {
+	var total sim.Duration
+	for _, c := range cost {
+		total += c
+	}
+	target := total / sim.Duration(k)
+	bounds := make([]int, 0, k)
+	var acc sim.Duration
+	for i, c := range cost {
+		acc += c
+		if acc >= target && len(bounds) < k-1 {
+			bounds = append(bounds, i+1)
+			acc = 0
+		}
+		_ = i
+	}
+	bounds = append(bounds, len(cost))
+	return bounds
+}
+
+// WastedCapacity reports the fraction of the k GPUs' aggregate compute
+// capability a layer-wise split leaves idle — the quantity behind the
+// paper's "compromises at least 40% speed" framing: adding devices
+// under model parallelism mostly adds idle silicon.
+func WastedCapacity(net *nnet.Net, cfg Config) (float64, error) {
+	r, err := Run(net, cfg)
+	if err != nil {
+		return 0, err
+	}
+	return 1 - r.Utilization, nil
+}

@@ -1,0 +1,92 @@
+package modelparallel
+
+import (
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/nnet"
+	"repro/internal/sim"
+)
+
+func TestSingleGPUIsReference(t *testing.T) {
+	r, err := Run(nnet.AlexNet(64), Config{GPUs: 1, Device: hw.TitanXP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CommTime != 0 || r.Slowdown != 1 {
+		t.Errorf("1 GPU must have no comm/slowdown: %+v", r)
+	}
+	if r.Utilization < 0.999 {
+		t.Errorf("1-GPU utilization = %v", r.Utilization)
+	}
+}
+
+func TestSegmentsAreBalancedAndComplete(t *testing.T) {
+	net := nnet.ResNet(50, 16)
+	r, err := Run(net, Config{GPUs: 4, Device: hw.TitanXP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.SegmentTime) != 4 || len(r.BoundaryBytes) != 3 {
+		t.Fatalf("segments=%d cuts=%d", len(r.SegmentTime), len(r.BoundaryBytes))
+	}
+	var sum sim.Duration
+	var maxSeg sim.Duration
+	for _, s := range r.SegmentTime {
+		sum += s
+		if s > maxSeg {
+			maxSeg = s
+		}
+	}
+	if sum != r.SingleGPU {
+		t.Errorf("segment times %v do not sum to the single-GPU total %v", sum, r.SingleGPU)
+	}
+	// Greedy balance: no segment should exceed twice the ideal share.
+	if float64(maxSeg) > 2*float64(r.SingleGPU)/4 {
+		t.Errorf("unbalanced split: max segment %v of total %v", maxSeg, r.SingleGPU)
+	}
+	for _, b := range r.BoundaryBytes {
+		if b <= 0 {
+			t.Error("every cut must move a real activation")
+		}
+	}
+}
+
+func TestPaperClaimFortyPercentWaste(t *testing.T) {
+	// §2.1: splitting a network across GPUs compromises at least 40%
+	// of the added capability. At 2+ GPUs the serial pipeline leaves
+	// well over 40% idle.
+	for _, k := range []int{2, 4} {
+		waste, err := WastedCapacity(nnet.VGG16(32), Config{GPUs: k, Device: hw.TitanXP})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if waste < 0.4 {
+			t.Errorf("%d GPUs: wasted capacity %.0f%%, paper claims >= 40%%", k, 100*waste)
+		}
+	}
+}
+
+func TestSlowdownGrowsWithCuts(t *testing.T) {
+	net := nnet.ResNet(101, 8)
+	prev := 0.0
+	for _, k := range []int{1, 2, 4, 8} {
+		r, err := Run(net, Config{GPUs: k, Device: hw.TeslaK40c})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Slowdown < prev {
+			t.Errorf("slowdown must not shrink with more cuts: %v after %v", r.Slowdown, prev)
+		}
+		prev = r.Slowdown
+		if k > 1 && r.Throughput <= 0 {
+			t.Error("degenerate throughput")
+		}
+	}
+}
+
+func TestInvalidGPUCount(t *testing.T) {
+	if _, err := Run(nnet.AlexNet(8), Config{GPUs: 0, Device: hw.TitanXP}); err == nil {
+		t.Fatal("zero GPUs must error")
+	}
+}

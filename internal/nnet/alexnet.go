@@ -1,0 +1,51 @@
+package nnet
+
+import (
+	"repro/internal/layers"
+	"repro/internal/tensor"
+)
+
+// AlexNet builds the 23-layer LRN variant the paper profiles in its
+// Fig. 10 (footnote 3):
+//
+//	CONV1→RELU1→LRN1→POOL1→CONV2→RELU2→LRN2→POOL2→CONV3→RELU3→
+//	CONV4→RELU4→CONV5→RELU5→POOL5→FC1→RELU6→Dropout1→FC2→RELU7→
+//	Dropout2→FC3→Softmax
+//
+// plus the data layer feeding 3×227×227 images. The geometry follows
+// Krizhevsky et al. including the historical two-GPU channel grouping
+// on conv2/4/5 (grouping halves those layers' parameters and FLOPs but
+// not their activation footprints, so the paper's reported tensor
+// sizes still match exactly).
+func AlexNet(batch int) *Net {
+	b, n := NewBuilder("AlexNet", tensor.Shape{N: batch, C: 3, H: 227, W: 227})
+
+	n = b.Conv(n, "conv1", 96, 11, 4, 0) // 96x55x55
+	n = b.Act(n, "relu1")
+	n = b.LRN(n, "lrn1")
+	n = b.Pool(n, "pool1", 3, 2, 0, false) // 96x27x27
+
+	n = b.Add(layers.NewConvGrouped("conv2", n.L.Out, 256, 5, 1, 2, 2), n) // 256x27x27
+	n = b.Act(n, "relu2")
+	n = b.LRN(n, "lrn2")
+	n = b.Pool(n, "pool2", 3, 2, 0, false) // 256x13x13
+
+	n = b.Conv(n, "conv3", 384, 3, 1, 1) // 384x13x13
+	n = b.Act(n, "relu3")
+	n = b.Add(layers.NewConvGrouped("conv4", n.L.Out, 384, 3, 1, 1, 2), n) // 384x13x13
+	n = b.Act(n, "relu4")
+	n = b.Add(layers.NewConvGrouped("conv5", n.L.Out, 256, 3, 1, 1, 2), n) // 256x13x13
+	n = b.Act(n, "relu5")
+	n = b.Pool(n, "pool5", 3, 2, 0, false) // 256x6x6
+
+	n = b.FC(n, "fc1", 4096)
+	n = b.Act(n, "relu6")
+	n = b.Dropout(n, "dropout1")
+	n = b.FC(n, "fc2", 4096)
+	n = b.Act(n, "relu7")
+	n = b.Dropout(n, "dropout2")
+	n = b.FC(n, "fc3", 1000)
+	b.Softmax(n, "softmax")
+
+	return b.Finish()
+}

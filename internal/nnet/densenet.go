@@ -1,0 +1,92 @@
+package nnet
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// DenseNetConfig parameterizes a DenseNet (Huang et al.): per-block
+// layer counts and the growth rate.
+type DenseNetConfig struct {
+	Blocks []int
+	Growth int
+}
+
+// DenseNet121Config is the standard 121-layer configuration.
+var DenseNet121Config = DenseNetConfig{Blocks: []int{6, 12, 24, 16}, Growth: 32}
+
+// DenseNet builds a densely-connected network: inside a block every
+// composite layer consumes the concatenation of all earlier feature
+// maps (the paper's "full-join" non-linearity, Fig. 1b right), which is
+// the most demanding dependency pattern for a memory scheduler.
+func DenseNet(batch int, cfg DenseNetConfig) *Net {
+	b, n := NewBuilder(fmt.Sprintf("DenseNet%d", denseNetDepth(cfg)),
+		tensor.Shape{N: batch, C: 3, H: 224, W: 224})
+
+	// Stem: 7x7 conv stride 2, BN, ReLU, 3x3 max pool stride 2.
+	n = b.Conv(n, "conv0", 2*cfg.Growth, 7, 2, 3)
+	n = b.BN(n, "bn0")
+	n = b.Act(n, "relu0")
+	n = b.Pool(n, "pool0", 3, 2, 1, false)
+
+	for bi, reps := range cfg.Blocks {
+		n = denseBlock(b, n, fmt.Sprintf("db%d", bi+1), reps, cfg.Growth)
+		if bi < len(cfg.Blocks)-1 {
+			n = transition(b, n, fmt.Sprintf("tr%d", bi+1))
+		}
+	}
+
+	n = b.BN(n, "bn_final")
+	n = b.Act(n, "relu_final")
+	n = b.GlobalPool(n, "avgpool")
+	n = b.FC(n, "fc", 1000)
+	b.Softmax(n, "softmax")
+	return b.Finish()
+}
+
+// denseBlock appends reps composite layers; layer k concatenates the
+// block input with the outputs of layers 1..k-1 before its bottleneck.
+func denseBlock(b *Builder, in *Node, id string, reps, growth int) *Node {
+	feats := []*Node{in}
+	for r := 1; r <= reps; r++ {
+		lid := fmt.Sprintf("%s_l%d", id, r)
+		var x *Node
+		if len(feats) == 1 {
+			x = feats[0]
+		} else {
+			x = b.Concat(lid+"_cat", feats...)
+		}
+		x = b.BN(x, lid+"_bn1")
+		x = b.Act(x, lid+"_relu1")
+		x = b.Conv(x, lid+"_conv1", 4*growth, 1, 1, 0)
+		x = b.BN(x, lid+"_bn2")
+		x = b.Act(x, lid+"_relu2")
+		x = b.Conv(x, lid+"_conv2", growth, 3, 1, 1)
+		feats = append(feats, x)
+	}
+	return b.Concat(id+"_out", feats...)
+}
+
+// transition appends the half-channel 1x1 conv + 2x2 average pool
+// between dense blocks.
+func transition(b *Builder, in *Node, id string) *Node {
+	n := b.BN(in, id+"_bn")
+	n = b.Act(n, id+"_relu")
+	n = b.Conv(n, id+"_conv", in.L.Out.C/2, 1, 1, 0)
+	return b.Pool(n, id+"_pool", 2, 2, 0, true)
+}
+
+// denseNetDepth counts weighted layers: 2 convs per composite layer,
+// one per transition, stem conv, classifier FC.
+func denseNetDepth(cfg DenseNetConfig) int {
+	d := 2 // stem conv + fc
+	for _, reps := range cfg.Blocks {
+		d += 2 * reps
+	}
+	d += len(cfg.Blocks) - 1
+	return d
+}
+
+// DenseNet121 builds the standard DenseNet-121.
+func DenseNet121(batch int) *Net { return DenseNet(batch, DenseNet121Config) }

@@ -1,0 +1,148 @@
+package nnet
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// InceptionV4 builds Inception-v4 (Szegedy et al., AAAI 2017): the
+// stem, 4× Inception-A, Reduction-A, 7× Inception-B, Reduction-B,
+// 3× Inception-C, and the classifier. Every convolution is followed by
+// BN and ReLU, matching the reference implementation; the result has
+// ~500 basic layers, in line with the paper's "515 basic layers
+// consuming 44.3 GB" description.
+func InceptionV4(batch int) *Net {
+	b, n := NewBuilder("InceptionV4", tensor.Shape{N: batch, C: 3, H: 299, W: 299})
+	n = inceptionStem(b, n)
+	for i := 1; i <= 4; i++ {
+		n = inceptionA(b, n, fmt.Sprintf("a%d", i))
+	}
+	n = reductionA(b, n)
+	for i := 1; i <= 7; i++ {
+		n = inceptionB(b, n, fmt.Sprintf("b%d", i))
+	}
+	n = reductionB(b, n)
+	for i := 1; i <= 3; i++ {
+		n = inceptionC(b, n, fmt.Sprintf("c%d", i))
+	}
+	n = b.GlobalPool(n, "avgpool")
+	n = b.Dropout(n, "dropout")
+	n = b.FC(n, "fc", 1000)
+	b.Softmax(n, "softmax")
+	return b.Finish()
+}
+
+// cbr appends the Conv→BN→ReLU triplet used throughout Inception.
+func cbr(b *Builder, in *Node, name string, outC, k, stride, pad int) *Node {
+	n := b.Conv(in, name, outC, k, stride, pad)
+	n = b.BN(n, name+"_bn")
+	return b.Act(n, name+"_relu")
+}
+
+// cbrRect is cbr with a rectangular kernel (the 1×7/7×1 and 1×3/3×1
+// factorizations).
+func cbrRect(b *Builder, in *Node, name string, outC, kh, kw, stride, padH, padW int) *Node {
+	n := b.ConvRect(in, name, outC, kh, kw, stride, padH, padW)
+	n = b.BN(n, name+"_bn")
+	return b.Act(n, name+"_relu")
+}
+
+func inceptionStem(b *Builder, n *Node) *Node {
+	n = cbr(b, n, "stem_conv1", 32, 3, 2, 0) // 149x149
+	n = cbr(b, n, "stem_conv2", 32, 3, 1, 0) // 147x147
+	n = cbr(b, n, "stem_conv3", 64, 3, 1, 1) // 147x147
+
+	// First fan: 3x3 max pool ∥ stride-2 conv, concatenated (73x73).
+	p1 := b.Pool(n, "stem_pool1", 3, 2, 0, false)
+	c1 := cbr(b, n, "stem_conv4", 96, 3, 2, 0)
+	n = b.Concat("stem_cat1", p1, c1) // 160x73x73
+
+	// Second fan: two conv towers (71x71).
+	t1 := cbr(b, n, "stem_t1_conv1", 64, 1, 1, 0)
+	t1 = cbr(b, t1, "stem_t1_conv2", 96, 3, 1, 0)
+	t2 := cbr(b, n, "stem_t2_conv1", 64, 1, 1, 0)
+	t2 = cbrRect(b, t2, "stem_t2_conv2", 64, 7, 1, 1, 3, 0)
+	t2 = cbrRect(b, t2, "stem_t2_conv3", 64, 1, 7, 1, 0, 3)
+	t2 = cbr(b, t2, "stem_t2_conv4", 96, 3, 1, 0)
+	n = b.Concat("stem_cat2", t1, t2) // 192x71x71
+
+	// Third fan: stride-2 conv ∥ max pool (35x35).
+	c2 := cbr(b, n, "stem_conv5", 192, 3, 2, 0)
+	p2 := b.Pool(n, "stem_pool2", 3, 2, 0, false)
+	return b.Concat("stem_cat3", c2, p2) // 384x35x35
+}
+
+func inceptionA(b *Builder, n *Node, id string) *Node {
+	br1 := b.Pool(n, id+"_pool", 3, 1, 1, true)
+	br1 = cbr(b, br1, id+"_b1_conv", 96, 1, 1, 0)
+
+	br2 := cbr(b, n, id+"_b2_conv", 96, 1, 1, 0)
+
+	br3 := cbr(b, n, id+"_b3_conv1", 64, 1, 1, 0)
+	br3 = cbr(b, br3, id+"_b3_conv2", 96, 3, 1, 1)
+
+	br4 := cbr(b, n, id+"_b4_conv1", 64, 1, 1, 0)
+	br4 = cbr(b, br4, id+"_b4_conv2", 96, 3, 1, 1)
+	br4 = cbr(b, br4, id+"_b4_conv3", 96, 3, 1, 1)
+
+	return b.Concat(id+"_cat", br1, br2, br3, br4) // 384x35x35
+}
+
+func reductionA(b *Builder, n *Node) *Node {
+	br1 := b.Pool(n, "ra_pool", 3, 2, 0, false)
+	br2 := cbr(b, n, "ra_b2_conv", 384, 3, 2, 0)
+	br3 := cbr(b, n, "ra_b3_conv1", 192, 1, 1, 0)
+	br3 = cbr(b, br3, "ra_b3_conv2", 224, 3, 1, 1)
+	br3 = cbr(b, br3, "ra_b3_conv3", 256, 3, 2, 0)
+	return b.Concat("ra_cat", br1, br2, br3) // 1024x17x17
+}
+
+func inceptionB(b *Builder, n *Node, id string) *Node {
+	br1 := b.Pool(n, id+"_pool", 3, 1, 1, true)
+	br1 = cbr(b, br1, id+"_b1_conv", 128, 1, 1, 0)
+
+	br2 := cbr(b, n, id+"_b2_conv", 384, 1, 1, 0)
+
+	br3 := cbr(b, n, id+"_b3_conv1", 192, 1, 1, 0)
+	br3 = cbrRect(b, br3, id+"_b3_conv2", 224, 1, 7, 1, 0, 3)
+	br3 = cbrRect(b, br3, id+"_b3_conv3", 256, 7, 1, 1, 3, 0)
+
+	br4 := cbr(b, n, id+"_b4_conv1", 192, 1, 1, 0)
+	br4 = cbrRect(b, br4, id+"_b4_conv2", 192, 1, 7, 1, 0, 3)
+	br4 = cbrRect(b, br4, id+"_b4_conv3", 224, 7, 1, 1, 3, 0)
+	br4 = cbrRect(b, br4, id+"_b4_conv4", 224, 1, 7, 1, 0, 3)
+	br4 = cbrRect(b, br4, id+"_b4_conv5", 256, 7, 1, 1, 3, 0)
+
+	return b.Concat(id+"_cat", br1, br2, br3, br4) // 1024x17x17
+}
+
+func reductionB(b *Builder, n *Node) *Node {
+	br1 := b.Pool(n, "rb_pool", 3, 2, 0, false)
+	br2 := cbr(b, n, "rb_b2_conv1", 192, 1, 1, 0)
+	br2 = cbr(b, br2, "rb_b2_conv2", 192, 3, 2, 0)
+	br3 := cbr(b, n, "rb_b3_conv1", 256, 1, 1, 0)
+	br3 = cbrRect(b, br3, "rb_b3_conv2", 256, 1, 7, 1, 0, 3)
+	br3 = cbrRect(b, br3, "rb_b3_conv3", 320, 7, 1, 1, 3, 0)
+	br3 = cbr(b, br3, "rb_b3_conv4", 320, 3, 2, 0)
+	return b.Concat("rb_cat", br1, br2, br3) // 1536x8x8
+}
+
+func inceptionC(b *Builder, n *Node, id string) *Node {
+	br1 := b.Pool(n, id+"_pool", 3, 1, 1, true)
+	br1 = cbr(b, br1, id+"_b1_conv", 256, 1, 1, 0)
+
+	br2 := cbr(b, n, id+"_b2_conv", 256, 1, 1, 0)
+
+	br3 := cbr(b, n, id+"_b3_conv", 384, 1, 1, 0)
+	br3a := cbrRect(b, br3, id+"_b3_conv_a", 256, 1, 3, 1, 0, 1)
+	br3b := cbrRect(b, br3, id+"_b3_conv_b", 256, 3, 1, 1, 1, 0)
+
+	br4 := cbr(b, n, id+"_b4_conv1", 384, 1, 1, 0)
+	br4 = cbrRect(b, br4, id+"_b4_conv2", 448, 1, 3, 1, 0, 1)
+	br4 = cbrRect(b, br4, id+"_b4_conv3", 512, 3, 1, 1, 1, 0)
+	br4a := cbrRect(b, br4, id+"_b4_conv_a", 256, 1, 3, 1, 0, 1)
+	br4b := cbrRect(b, br4, id+"_b4_conv_b", 256, 3, 1, 1, 1, 0)
+
+	return b.Concat(id+"_cat", br1, br2, br3a, br3b, br4a, br4b) // 1536x8x8
+}

@@ -1,0 +1,92 @@
+package nnet
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// ResNetStages builds a bottleneck ResNet controlled by the four
+// for-loop limits of the paper's Table 4:
+//
+//	depth = 3*(n1+n2+n3+n4) + 2
+//
+// counting the three convolutions of every bottleneck block plus the
+// stem convolution and the classifier. Standard instantiations:
+// ResNet-50 = (3,4,6,3), ResNet-101 = (3,4,23,3), ResNet-152 =
+// (3,8,36,3); Table 4's depth sweep fixes n1=6, n2=32, n4=6 and varies
+// n3.
+func ResNetStages(batch, n1, n2, n3, n4 int) *Net {
+	reps := [4]int{n1, n2, n3, n4}
+	name := fmt.Sprintf("ResNet%d", 3*(n1+n2+n3+n4)+2)
+	b, n := NewBuilder(name, tensor.Shape{N: batch, C: 3, H: 224, W: 224})
+
+	// Stem: 7x7/64 stride 2, BN, ReLU, 3x3 max pool stride 2 -> 64x56x56.
+	n = b.Conv(n, "conv1", 64, 7, 2, 3)
+	n = b.BN(n, "bn1")
+	n = b.Act(n, "relu1")
+	n = b.Pool(n, "pool1", 3, 2, 1, false)
+
+	mid := [4]int{64, 128, 256, 512}
+	out := [4]int{256, 512, 1024, 2048}
+	for s := 0; s < 4; s++ {
+		for r := 0; r < reps[s]; r++ {
+			stride := 1
+			if s > 0 && r == 0 {
+				stride = 2
+			}
+			project := r == 0 // first block of each stage changes channel count
+			n = bottleneck(b, n, fmt.Sprintf("s%db%d", s+1, r+1), mid[s], out[s], stride, project)
+		}
+	}
+
+	n = b.GlobalPool(n, "avgpool")
+	n = b.FC(n, "fc", 1000)
+	b.Softmax(n, "softmax")
+	return b.Finish()
+}
+
+// bottleneck appends one residual bottleneck unit: 1x1 reduce, 3x3,
+// 1x1 expand on the main path; identity or plain 1x1 projection on the
+// shortcut (no shortcut BN — the paper's Table 1 recompute counts for
+// ResNet-50/101 only decompose with an unnormalized projection);
+// element-wise join; ReLU.
+func bottleneck(b *Builder, in *Node, id string, mid, out, stride int, project bool) *Node {
+	n := b.Conv(in, id+"_conv1", mid, 1, stride, 0)
+	n = b.BN(n, id+"_bn1")
+	n = b.Act(n, id+"_relu1")
+	n = b.Conv(n, id+"_conv2", mid, 3, 1, 1)
+	n = b.BN(n, id+"_bn2")
+	n = b.Act(n, id+"_relu2")
+	n = b.Conv(n, id+"_conv3", out, 1, 1, 0)
+	n = b.BN(n, id+"_bn3")
+
+	shortcut := in
+	if project {
+		shortcut = b.Conv(in, id+"_proj", out, 1, stride, 0)
+	}
+	n = b.Eltwise(id+"_join", n, shortcut)
+	return b.Act(n, id+"_relu")
+}
+
+// ResNet builds the named standard depths (50, 101, 152) or panics on
+// anything else; use ResNetStages for custom depths.
+func ResNet(depth, batch int) *Net {
+	switch depth {
+	case 50:
+		return ResNetStages(batch, 3, 4, 6, 3)
+	case 101:
+		return ResNetStages(batch, 3, 4, 23, 3)
+	case 152:
+		return ResNetStages(batch, 3, 8, 36, 3)
+	default:
+		panic(fmt.Sprintf("nnet: no standard ResNet-%d; use ResNetStages", depth))
+	}
+}
+
+// ResNetTable4 builds the Table 4 depth-sweep variant: n1=6, n2=32,
+// n4=6, with the given n3.
+func ResNetTable4(batch, n3 int) *Net { return ResNetStages(batch, 6, 32, n3, 6) }
+
+// ResNetDepth returns the paper's depth formula for the four limits.
+func ResNetDepth(n1, n2, n3, n4 int) int { return 3*(n1+n2+n3+n4) + 2 }

@@ -1,0 +1,38 @@
+package nnet
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// vgg builds a VGG network from the per-stage 3×3 convolution counts
+// (configuration D = VGG-16: 2,2,3,3,3; configuration E = VGG-19:
+// 2,2,4,4,4), following Simonyan & Zisserman.
+func vgg(name string, batch int, stages [5]int) *Net {
+	b, n := NewBuilder(name, tensor.Shape{N: batch, C: 3, H: 224, W: 224})
+	channels := [5]int{64, 128, 256, 512, 512}
+	for s, reps := range stages {
+		for r := 0; r < reps; r++ {
+			id := fmt.Sprintf("%d_%d", s+1, r+1)
+			n = b.Conv(n, "conv"+id, channels[s], 3, 1, 1)
+			n = b.Act(n, "relu"+id)
+		}
+		n = b.Pool(n, fmt.Sprintf("pool%d", s+1), 2, 2, 0, false)
+	}
+	n = b.FC(n, "fc6", 4096)
+	n = b.Act(n, "relu6")
+	n = b.Dropout(n, "drop6")
+	n = b.FC(n, "fc7", 4096)
+	n = b.Act(n, "relu7")
+	n = b.Dropout(n, "drop7")
+	n = b.FC(n, "fc8", 1000)
+	b.Softmax(n, "softmax")
+	return b.Finish()
+}
+
+// VGG16 builds configuration D (13 conv + 3 FC weighted layers).
+func VGG16(batch int) *Net { return vgg("VGG16", batch, [5]int{2, 2, 3, 3, 3}) }
+
+// VGG19 builds configuration E (16 conv + 3 FC weighted layers).
+func VGG19(batch int) *Net { return vgg("VGG19", batch, [5]int{2, 2, 4, 4, 4}) }

@@ -1,0 +1,56 @@
+// Package par provides small deterministic parallel-execution helpers
+// for the capacity searches and benchmark sweeps: results land in
+// input order regardless of goroutine scheduling, so every report is
+// reproducible.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// For runs fn(i) for i in [0,n) on up to workers goroutines (workers
+// <= 0 selects GOMAXPROCS). It returns when all calls finished.
+func For(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// Map applies fn to every item concurrently and returns the results in
+// input order.
+func Map[T, R any](items []T, workers int, fn func(T) R) []R {
+	out := make([]R, len(items))
+	For(len(items), workers, func(i int) {
+		out[i] = fn(items[i])
+	})
+	return out
+}

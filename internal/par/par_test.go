@@ -1,0 +1,59 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForRunsAll(t *testing.T) {
+	var count int64
+	For(100, 8, func(i int) { atomic.AddInt64(&count, 1) })
+	if count != 100 {
+		t.Fatalf("ran %d of 100", count)
+	}
+	For(0, 4, func(i int) { t.Fatal("must not run") })
+	For(5, 0, func(i int) { atomic.AddInt64(&count, 1) }) // default workers
+	if count != 105 {
+		t.Fatalf("count = %d", count)
+	}
+}
+
+func TestForSingleWorkerIsSequential(t *testing.T) {
+	var order []int
+	For(10, 1, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestMapPreservesOrder(t *testing.T) {
+	in := []int{5, 3, 8, 1, 9, 2}
+	out := Map(in, 4, func(x int) int { return x * x })
+	for i, v := range out {
+		if v != in[i]*in[i] {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestMapDeterministicProperty(t *testing.T) {
+	f := func(xs []int8) bool {
+		a := Map(xs, 3, func(x int8) int { return int(x) + 1 })
+		b := Map(xs, 7, func(x int8) int { return int(x) + 1 })
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,269 @@
+// Package policy models the memory-management policies of the deep
+// learning frameworks the paper compares against (§2.2, §4.2) and
+// drives the capacity searches behind Tables 4 and 5. Every framework
+// runs on the same simulated substrate (internal/core), so the
+// comparisons isolate exactly the policy differences:
+//
+//   - Caffe: the whole network stays resident; forward tensors are
+//     reused for backward only through the executor's in-place
+//     gradient chains. No liveness, no swapping, no recomputation.
+//   - Torch: Caffe's policy plus pervasive in-place ReLU/Dropout
+//     forwards (nn.ReLU(true)).
+//   - MXNet: DAG liveness analysis plus the per-segment speed-centric
+//     recomputation of Chen et al. — no swapping, so checkpoint
+//     outputs accumulate on the GPU.
+//   - TensorFlow: DAG liveness plus "swap long-lived tensors to CPU":
+//     single-consumer forward outputs move to pageable host memory on
+//     demand (no pinned staging, no prefetch overlap — the ≥50%
+//     communication-speed loss §2.2 describes), no recomputation.
+//   - SuperNeurons: the full runtime — liveness + pinned
+//     prefetch/offload of checkpoints and join tensors + LRU tensor
+//     cache + cost-aware recomputation + memory pool + dynamic
+//     convolution workspaces.
+package policy
+
+import (
+	"errors"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/nnet"
+	"repro/internal/par"
+	"repro/internal/recompute"
+	"repro/internal/utp"
+)
+
+// Framework names a memory policy. Configs returns the runtime
+// configurations tried in order until one fits — TensorFlow's memory
+// optimizer, for instance, only inserts swap nodes when the plain
+// execution would not fit.
+type Framework struct {
+	Name    string
+	Configs func(d hw.DeviceSpec) []core.Config
+}
+
+// Config returns the framework's primary (preferred) configuration.
+func (f Framework) Config(d hw.DeviceSpec) core.Config { return f.Configs(d)[0] }
+
+func one(c core.Config) []core.Config { return []core.Config{c} }
+
+// Caffe keeps the whole network resident and caps each convolution's
+// workspace at its conservative 8 MiB default.
+var Caffe = Framework{Name: "Caffe", Configs: func(d hw.DeviceSpec) []core.Config {
+	return one(core.Config{
+		Device: d, HostLink: hw.PCIePinned,
+		UseMemPool: true, DynamicWorkspace: true,
+		WorkspaceLimit: 8 * hw.MiB,
+	})
+}}
+
+// Torch is Caffe's policy plus in-place activations and a somewhat
+// larger static workspace cap.
+var Torch = Framework{Name: "Torch", Configs: func(d hw.DeviceSpec) []core.Config {
+	c := Caffe.Config(d)
+	c.InPlaceAct = true
+	c.WorkspaceLimit = 32 * hw.MiB
+	return one(c)
+}}
+
+// MXNet runs liveness plus speed-centric recomputation with its 1 GiB
+// per-layer workspace default.
+var MXNet = Framework{Name: "MXNet", Configs: func(d hw.DeviceSpec) []core.Config {
+	return one(core.Config{
+		Device: d, HostLink: hw.PCIePinned,
+		UseMemPool: true, DynamicWorkspace: true,
+		WorkspaceLimit: 1 * hw.GiB,
+		Liveness:       true,
+		Recompute:      recompute.SpeedCentric,
+	})
+}}
+
+// TensorFlow runs liveness, first without swapping; when the network
+// does not fit, its memory optimizer inserts pageable on-demand
+// swap-out/swap-in pairs for single-consumer tensors.
+var TensorFlow = Framework{Name: "TensorFlow", Configs: func(d hw.DeviceSpec) []core.Config {
+	plain := core.Config{
+		Device: d, HostLink: hw.PCIePageable,
+		UseMemPool: true, DynamicWorkspace: true,
+		Liveness: true,
+	}
+	swap := plain
+	swap.Offload = utp.OffloadSwapAll
+	swap.Prefetch = false
+	return []core.Config{plain, swap}
+}}
+
+// SuperNeurons is the paper's full runtime.
+var SuperNeurons = Framework{Name: "SuperNeurons", Configs: func(d hw.DeviceSpec) []core.Config {
+	return one(core.SuperNeurons(d))
+}}
+
+// VDNN models Rhu et al.'s vDNN (§5): eager pinned offloading of every
+// sizable single-consumer tensor with prefetching — but no
+// recomputation, no tensor cache, and no dynamic workspace policy
+// beyond a fixed cap. Its performance depends entirely on the
+// communication/computation ratio, which is the weakness on non-linear
+// networks the paper calls out.
+var VDNN = Framework{Name: "vDNN", Configs: func(d hw.DeviceSpec) []core.Config {
+	return one(core.Config{
+		Device: d, HostLink: hw.PCIePinned,
+		UseMemPool: true, DynamicWorkspace: true,
+		WorkspaceLimit: 512 * hw.MiB,
+		Liveness:       true,
+		Offload:        utp.OffloadSwapAll,
+		Prefetch:       true,
+	})
+}}
+
+// All lists the frameworks in the paper's table order.
+var All = []Framework{Caffe, MXNet, Torch, TensorFlow, SuperNeurons}
+
+// ByName returns the framework with the given name, or false.
+func ByName(name string) (Framework, bool) {
+	for _, f := range All {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return Framework{}, false
+}
+
+// run executes the framework's configurations in order until one
+// fits; it returns (nil, nil) when all of them run out of memory.
+func run(f Framework, net *nnet.Net, d hw.DeviceSpec) (*core.Result, error) {
+	for _, cfg := range f.Configs(d) {
+		r, err := core.Run(net, cfg)
+		if err == nil {
+			return r, nil
+		}
+		if !errors.Is(err, core.ErrOutOfMemory) {
+			return nil, err
+		}
+	}
+	return nil, nil
+}
+
+// Trainable reports whether the framework can run one training
+// iteration of the network on the device. Non-OOM errors propagate.
+func Trainable(f Framework, net *nnet.Net, d hw.DeviceSpec) (bool, error) {
+	r, err := run(f, net, d)
+	return r != nil, err
+}
+
+// MaxBatch returns the largest batch in [1, hi] the framework can
+// train, found by exponential probing plus binary search (capacity is
+// monotone in batch size). Returns 0 if even batch 1 fails.
+func MaxBatch(f Framework, build nnet.BuilderFunc, d hw.DeviceSpec, hi int) (int, error) {
+	fits := func(b int) (bool, error) { return Trainable(f, build(b), d) }
+	if ok, err := fits(1); err != nil || !ok {
+		return 0, err
+	}
+	lo := 1
+	probe := 2
+	for probe <= hi {
+		ok, err := fits(probe)
+		if err != nil {
+			return 0, err
+		}
+		if !ok {
+			hi = probe - 1
+			break
+		}
+		lo = probe
+		probe *= 2
+	}
+	if probe > hi && lo == probe/2 {
+		// Never failed up to hi.
+		if ok, err := fits(hi); err != nil {
+			return 0, err
+		} else if ok {
+			return hi, nil
+		}
+	}
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		ok, err := fits(mid)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo, nil
+}
+
+// MaxDepth returns the deepest Table-4 ResNet (n1=6, n2=32, n4=6,
+// varying n3 in [1, maxN3]) the framework can train at the given
+// batch, as (n3, depth). Returns (0,0) if even n3=1 fails.
+func MaxDepth(f Framework, d hw.DeviceSpec, batch, maxN3 int) (int, int, error) {
+	fits := func(n3 int) (bool, error) { return Trainable(f, nnet.ResNetTable4(batch, n3), d) }
+	if ok, err := fits(1); err != nil || !ok {
+		return 0, 0, err
+	}
+	lo, hi := 1, maxN3
+	probe := 2
+	for probe <= hi {
+		ok, err := fits(probe)
+		if err != nil {
+			return 0, 0, err
+		}
+		if !ok {
+			hi = probe - 1
+			break
+		}
+		lo = probe
+		probe *= 2
+	}
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		ok, err := fits(mid)
+		if err != nil {
+			return 0, 0, err
+		}
+		if ok {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo, nnet.ResNetDepth(6, 32, lo, 6), nil
+}
+
+// Speed returns the training throughput (img/s) of the framework on
+// the network, or 0 when it does not fit.
+func Speed(f Framework, net *nnet.Net, d hw.DeviceSpec) (float64, error) {
+	r, err := run(f, net, d)
+	if err != nil || r == nil {
+		return 0, err
+	}
+	return r.Throughput, nil
+}
+
+// BatchSweep measures img/s for each framework over the batch sizes,
+// running frameworks in parallel. Entry [i][j] is frameworks[i] at
+// batches[j]; 0 marks out-of-memory.
+func BatchSweep(frameworks []Framework, build nnet.BuilderFunc, d hw.DeviceSpec, batches []int) ([][]float64, error) {
+	out := make([][]float64, len(frameworks))
+	errs := make([]error, len(frameworks))
+	par.For(len(frameworks), 0, func(i int) {
+		row := make([]float64, len(batches))
+		for j, b := range batches {
+			s, err := Speed(frameworks[i], build(b), d)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			row[j] = s
+		}
+		out[i] = row
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

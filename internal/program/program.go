@@ -1,0 +1,264 @@
+// Package program lowers a network graph into the tensor-level
+// execution program the SuperNeurons planners operate on: one forward
+// step per layer in route order, one backward step per layer in reverse
+// order, each annotated with the tensors it reads and writes.
+//
+// The lowering encodes the memory behaviour of a cuDNN-based trainer:
+//
+//   - every layer's forward allocates its output tensor;
+//   - CONV/POOL/LRN/BN/FC/Softmax backward allocates a distinct input
+//     gradient (dX), while ReLU/Dropout compute gradients in place over
+//     dY and Concat/Eltwise hand out views of dY — so their "dX" aliases
+//     the gradient tensor of their own output;
+//   - a layer whose output feeds several consumers has its output
+//     gradient accumulated into the first consumer's buffer (no extra
+//     allocation);
+//   - each backward step additionally reads the forward tensors its
+//     kernel signature demands (layers.Spec.BwdNeeds).
+//
+// From the per-step working sets the package derives max(l_i) — the
+// paper's l_peak, the smallest peak memory any layer-wise schedule can
+// achieve and the floor Cost-Aware Recomputation reaches.
+package program
+
+import (
+	"fmt"
+
+	"repro/internal/layers"
+	"repro/internal/nnet"
+	"repro/internal/tensor"
+)
+
+// Phase distinguishes forward from backward steps.
+type Phase uint8
+
+// Phases.
+const (
+	Forward Phase = iota
+	Backward
+)
+
+// String returns "fwd" or "bwd".
+func (p Phase) String() string {
+	if p == Forward {
+		return "fwd"
+	}
+	return "bwd"
+}
+
+// Step is one schedulable unit: a layer execution in one phase.
+type Step struct {
+	Index int
+	Node  *nnet.Node
+	Phase Phase
+
+	// Reads lists tensors that must be GPU-resident throughout the
+	// step; Writes lists tensors the step creates or updates. A tensor
+	// appearing in both (in-place gradient) is listed once in each.
+	Reads  []*tensor.Tensor
+	Writes []*tensor.Tensor
+}
+
+// Label renders e.g. "conv1 fwd" for profiles.
+func (s *Step) Label() string { return fmt.Sprintf("%s %s", s.Node.Name(), s.Phase) }
+
+// Program is the lowered execution plan for one training iteration.
+type Program struct {
+	Net   *nnet.Net
+	Reg   *tensor.Registry
+	Steps []Step
+
+	// Out[nodeID] is the node's forward output tensor; DX[nodeID] is
+	// its allocated input-gradient tensor (nil for in-place layers);
+	// GradOut[nodeID] is the resolved tensor holding the gradient with
+	// respect to the node's output (nil for the loss layer).
+	Out     []*tensor.Tensor
+	DX      []*tensor.Tensor
+	GradOut []*tensor.Tensor
+
+	// FwdStep/BwdStep map node IDs to step indices (BwdStep is -1 for
+	// the data layer, which has no backward).
+	FwdStep []int
+	BwdStep []int
+
+	// PersistentBytes covers parameters, parameter gradients and
+	// auxiliary state (dropout reserves, BN statistics): resident for
+	// the whole run, untouched by the per-iteration schedulers.
+	PersistentBytes int64
+}
+
+// Options tunes the lowering.
+type Options struct {
+	// InPlaceAct makes ReLU and Dropout forwards operate in place,
+	// sharing the producer's buffer (Torch's nn.ReLU(true) / Caffe's
+	// in-place layers). Applied only when the producer has a single
+	// consumer, where it is always safe.
+	InPlaceAct bool
+}
+
+// Build lowers the network with default options.
+func Build(net *nnet.Net) *Program { return BuildWith(net, Options{}) }
+
+// BuildWith lowers the network.
+func BuildWith(net *nnet.Net, opts Options) *Program {
+	n := len(net.Nodes)
+	p := &Program{
+		Net:     net,
+		Reg:     &tensor.Registry{},
+		Out:     make([]*tensor.Tensor, n),
+		DX:      make([]*tensor.Tensor, n),
+		GradOut: make([]*tensor.Tensor, n),
+		FwdStep: make([]int, n),
+		BwdStep: make([]int, n),
+	}
+
+	route := net.Route()
+
+	// Create forward outputs in route order so tensor IDs follow
+	// execution order (matches the paper's t0, t1, ... numbering).
+	for _, nd := range route {
+		if opts.InPlaceAct && inPlaceEligible(nd) {
+			p.Out[nd.ID] = p.Out[nd.Prev[0].ID]
+			continue
+		}
+		p.Out[nd.ID] = p.Reg.New(nd.Name()+".y", tensor.Data, nd.L.Out)
+	}
+	// Create dX tensors in backward order.
+	for i := len(route) - 1; i >= 0; i-- {
+		nd := route[i]
+		if nd.L.AllocatesDX() {
+			// dX matches the (first) input shape; for multi-input
+			// layers that allocate (none today) this would extend.
+			p.DX[nd.ID] = p.Reg.New(nd.Name()+".dx", tensor.Grad, nd.L.In[0])
+		}
+	}
+	// Resolve output-gradient aliases.
+	for _, nd := range route {
+		p.GradOut[nd.ID] = p.resolveGradOut(nd, make(map[int]bool))
+	}
+
+	// Persistent state: parameters, parameter gradients, aux.
+	p.PersistentBytes = 2*net.ParamBytes() + net.AuxBytes()
+
+	// Forward steps.
+	for _, nd := range route {
+		st := Step{Index: len(p.Steps), Node: nd, Phase: Forward}
+		for _, pr := range nd.Prev {
+			st.Reads = append(st.Reads, p.Out[pr.ID])
+		}
+		st.Writes = append(st.Writes, p.Out[nd.ID])
+		p.FwdStep[nd.ID] = st.Index
+		p.Steps = append(p.Steps, st)
+	}
+	// Backward steps in reverse route order; the data layer has none.
+	for i := range p.BwdStep {
+		p.BwdStep[i] = -1
+	}
+	for i := len(route) - 1; i >= 0; i-- {
+		nd := route[i]
+		if len(nd.Prev) == 0 {
+			continue
+		}
+		st := Step{Index: len(p.Steps), Node: nd, Phase: Backward}
+		if g := p.GradOut[nd.ID]; g != nil {
+			st.Reads = append(st.Reads, g)
+		}
+		needX, needY := nd.L.BwdNeeds()
+		if needX {
+			for _, pr := range nd.Prev {
+				st.Reads = append(st.Reads, p.Out[pr.ID])
+			}
+		}
+		if needY {
+			st.Reads = append(st.Reads, p.Out[nd.ID])
+		}
+		if dx := p.DX[nd.ID]; dx != nil {
+			st.Writes = append(st.Writes, dx)
+		} else if g := p.GradOut[nd.ID]; g != nil {
+			// In-place: the step updates the aliased gradient buffer.
+			st.Writes = append(st.Writes, g)
+		}
+		p.BwdStep[nd.ID] = st.Index
+		p.Steps = append(p.Steps, st)
+	}
+	return p
+}
+
+// inPlaceEligible reports whether a node may share its producer's
+// buffer: an activation or dropout whose single input feeds only it.
+func inPlaceEligible(nd *nnet.Node) bool {
+	if len(nd.Prev) != 1 || len(nd.Prev[0].Next) != 1 {
+		return false
+	}
+	switch nd.L.Type {
+	case layers.Act, layers.Dropout:
+		return true
+	}
+	return false
+}
+
+// resolveGradOut walks down the consumer graph to find the tensor that
+// will hold the gradient with respect to nd's output: the dX buffer of
+// the nearest downstream dX-allocating layer, following in-place and
+// view-aliasing chains. With several consumers the first one's buffer
+// is the accumulation target.
+func (p *Program) resolveGradOut(nd *nnet.Node, visiting map[int]bool) *tensor.Tensor {
+	if len(nd.Next) == 0 {
+		return nil // loss layer: gradient originates here
+	}
+	if visiting[nd.ID] {
+		return nil
+	}
+	visiting[nd.ID] = true
+	c := nd.Next[0]
+	if dx := p.DX[c.ID]; dx != nil {
+		return dx
+	}
+	return p.resolveGradOut(c, visiting)
+}
+
+// StepTensors returns the deduplicated union of a step's reads and
+// writes — the tensors that must coexist on the GPU for the step.
+func StepTensors(st *Step) []*tensor.Tensor {
+	seen := make(map[int]bool, len(st.Reads)+len(st.Writes))
+	var out []*tensor.Tensor
+	for _, lists := range [2][]*tensor.Tensor{st.Reads, st.Writes} {
+		for _, t := range lists {
+			if !seen[t.ID] {
+				seen[t.ID] = true
+				out = append(out, t)
+			}
+		}
+	}
+	return out
+}
+
+// WorkingSet returns the bytes that must coexist for step i — the
+// paper's per-layer memory usage l_i (forward or backward flavor).
+func (p *Program) WorkingSet(i int) int64 {
+	var sum int64
+	for _, t := range StepTensors(&p.Steps[i]) {
+		sum += t.Bytes()
+	}
+	return sum
+}
+
+// LPeak returns max(l_i) over all steps: the layer-wise lower bound on
+// peak memory that Cost-Aware Recomputation attains.
+func (p *Program) LPeak() (bytes int64, step int) {
+	for i := range p.Steps {
+		if ws := p.WorkingSet(i); ws > bytes {
+			bytes, step = ws, i
+		}
+	}
+	return bytes, step
+}
+
+// BaselineBytes returns the naive allocation footprint Σ l_i^f + Σ l_i^b:
+// every forward output plus every gradient tensor live at once.
+func (p *Program) BaselineBytes() int64 {
+	return p.Reg.TotalBytes(tensor.Data, tensor.Grad)
+}
+
+// NumSteps returns the step count of one iteration.
+func (p *Program) NumSteps() int { return len(p.Steps) }

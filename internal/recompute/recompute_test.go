@@ -1,0 +1,163 @@
+package recompute
+
+import (
+	"testing"
+
+	"repro/internal/nnet"
+	"repro/internal/program"
+)
+
+func segLengths(pl *Plan) []int {
+	var out []int
+	for _, s := range pl.Segments {
+		out = append(out, len(s.Members))
+	}
+	return out
+}
+
+func TestAlexNetSegments(t *testing.T) {
+	p := program.Build(nnet.AlexNet(200))
+	pl := BuildPlan(p, SpeedCentric)
+	want := []int{3, 3, 1, 1, 2, 2, 2}
+	got := segLengths(pl)
+	if len(got) != len(want) {
+		t.Fatalf("segments = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("segments = %v, want %v", got, want)
+		}
+	}
+	// Softmax (the loss layer) is never dropped.
+	last := p.Net.Nodes[len(p.Net.Nodes)-1]
+	if pl.Drop[last.ID] {
+		t.Error("loss layer output must not be dropped")
+	}
+}
+
+func TestTable1AnalyticCounts(t *testing.T) {
+	// The closed-form recompute counts of the paper's Table 1.
+	cases := []struct {
+		name                       string
+		net                        *nnet.Net
+		wantSpeed, wantMem, wantCA int
+	}{
+		{"AlexNet", nnet.AlexNet(200), 14, 23, 17},
+		{"ResNet50", nnet.ResNet(50, 16), 84, 118, 85},
+		{"ResNet101", nnet.ResNet(101, 16), 169, 237, 170},
+	}
+	for _, c := range cases {
+		p := program.Build(c.net)
+		pl := BuildPlan(p, CostAware)
+		speed, mem := pl.AnalyticExtras()
+		ca := pl.AnalyticCostAware()
+		if speed != c.wantSpeed {
+			t.Errorf("%s speed-centric = %d, paper says %d", c.name, speed, c.wantSpeed)
+		}
+		if mem != c.wantMem {
+			t.Errorf("%s memory-centric = %d, paper says %d", c.name, mem, c.wantMem)
+		}
+		if ca != c.wantCA {
+			t.Errorf("%s cost-aware = %d, paper says %d", c.name, ca, c.wantCA)
+		}
+	}
+}
+
+func TestCostAwareSwitchesOnlyOversizedSegments(t *testing.T) {
+	p := program.Build(nnet.AlexNet(200))
+	pl := BuildPlan(p, CostAware)
+	// Only the first segment (relu1/lrn1/pool1, the 221.56 MiB
+	// tensors) exceeds l_peak and must switch to memory-centric.
+	if pl.MemoryCentricSegments() != 1 {
+		t.Errorf("%d segments switched, want 1", pl.MemoryCentricSegments())
+	}
+	if !pl.Segments[0].UseMemoryCentric {
+		t.Error("the stem segment must be the one switched")
+	}
+	for _, seg := range pl.Segments {
+		if seg.UseMemoryCentric && seg.SpeedCost <= pl.LPeak {
+			t.Errorf("segment %d switched although speed cost %d <= lpeak %d",
+				seg.ID, seg.SpeedCost, pl.LPeak)
+		}
+		if !seg.UseMemoryCentric && seg.SpeedCost > pl.LPeak {
+			t.Errorf("segment %d kept speed although cost %d > lpeak %d",
+				seg.ID, seg.SpeedCost, pl.LPeak)
+		}
+	}
+}
+
+func TestStrategyEndpoints(t *testing.T) {
+	p := program.Build(nnet.AlexNet(32))
+	if n := BuildPlan(p, SpeedCentric).MemoryCentricSegments(); n != 0 {
+		t.Errorf("speed-centric switched %d segments", n)
+	}
+	plM := BuildPlan(p, MemoryCentric)
+	if plM.MemoryCentricSegments() != len(plM.Segments) {
+		t.Error("memory-centric must switch every segment")
+	}
+	plN := BuildPlan(p, None)
+	if len(plN.Segments) != 0 {
+		t.Error("strategy None must not create segments")
+	}
+	for _, d := range plN.Drop {
+		if d {
+			t.Fatal("strategy None must not drop tensors")
+		}
+	}
+}
+
+func TestDroppableRules(t *testing.T) {
+	net := nnet.ResNet(50, 4)
+	p := program.Build(net)
+	pl := BuildPlan(p, SpeedCentric)
+	for _, nd := range net.Nodes {
+		drop := pl.Drop[nd.ID]
+		if nd.L.IsCheckpoint() && drop {
+			t.Errorf("checkpoint %s dropped", nd.Name())
+		}
+		if len(nd.Next) > 1 && drop {
+			t.Errorf("fan-out tensor %s dropped", nd.Name())
+		}
+	}
+	// Join outputs stay: dropping them would recurse across segments.
+	for _, nd := range net.Nodes {
+		if nd.Name() == "s1b1_join" && pl.Drop[nd.ID] {
+			t.Error("eltwise join output must not be dropped")
+		}
+	}
+}
+
+func TestSegmentsAreRouteContiguous(t *testing.T) {
+	for _, e := range nnet.Registry {
+		net := e.Build(2)
+		p := program.Build(net)
+		pl := BuildPlan(p, SpeedCentric)
+		pos := make(map[int]int)
+		for i, nd := range net.Route() {
+			pos[nd.ID] = i
+		}
+		for _, seg := range pl.Segments {
+			for i := 1; i < len(seg.Members); i++ {
+				if pos[seg.Members[i].ID] != pos[seg.Members[i-1].ID]+1 {
+					t.Errorf("%s: segment %d not contiguous in route order", e.Name, seg.ID)
+				}
+			}
+			if seg.Checkpoint == nil {
+				t.Errorf("%s: segment %d has no checkpoint", e.Name, seg.ID)
+				continue
+			}
+			if pos[seg.Checkpoint.ID] >= pos[seg.Members[0].ID] {
+				t.Errorf("%s: segment %d checkpoint does not precede members", e.Name, seg.ID)
+			}
+		}
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if SpeedCentric.String() != "speed-centric" || CostAware.String() != "cost-aware" {
+		t.Error("strategy names wrong")
+	}
+	if Strategy(99).String() == "" {
+		t.Error("unknown strategy must still print")
+	}
+}

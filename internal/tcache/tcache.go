@@ -1,0 +1,171 @@
+// Package tcache implements the LRU Tensor Cache of §3.3.2 (the
+// paper's Algorithm 2). The cache exploits the temporal locality of
+// back-propagation — the head-to-tail then tail-to-head sweep makes
+// the most recently used tensors the earliest reused — to keep tensors
+// on GPU DRAM and avoid offload/prefetch traffic entirely whenever the
+// working set fits. Tensors locked by an in-flight computation are
+// never eviction candidates.
+//
+// The cache is pure bookkeeping: the executor owns the memory pool and
+// the DMA engines, and consults the cache for hit/miss decisions and
+// eviction victims.
+package tcache
+
+import (
+	"container/list"
+
+	"repro/internal/tensor"
+)
+
+// Stats counts cache activity.
+type Stats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	// EvictedBytes is the offload traffic caused by evictions.
+	EvictedBytes int64
+}
+
+// Policy selects the replacement policy. The paper adopts LRU because
+// back-propagation's head-to-tail/tail-to-head sweep reuses the most
+// recent tensors first, and notes other policies might fit other
+// access patterns; FIFO and MRU are provided for exactly that ablation
+// (the bench harness compares them under memory pressure).
+type Policy uint8
+
+// Replacement policies.
+const (
+	// LRU evicts the least recently used tensor (Alg. 2).
+	LRU Policy = iota
+	// FIFO evicts in insertion order, ignoring reuse.
+	FIFO
+	// MRU evicts the most recently used tensor first.
+	MRU
+)
+
+var policyNames = [...]string{"lru", "fifo", "mru"}
+
+// String returns the policy name.
+func (p Policy) String() string {
+	if int(p) < len(policyNames) {
+		return policyNames[p]
+	}
+	return "policy(?)"
+}
+
+// Cache is a recency list of GPU-resident tensors; the front is the
+// most recently used (Alg. 2's MFU position).
+type Cache struct {
+	ll     *list.List // of *tensor.Tensor
+	index  map[int]*list.Element
+	policy Policy
+	stats  Stats
+}
+
+// New returns an empty LRU cache (the paper's policy).
+func New() *Cache { return NewWithPolicy(LRU) }
+
+// NewWithPolicy returns an empty cache with the given replacement
+// policy.
+func NewWithPolicy(p Policy) *Cache {
+	return &Cache{ll: list.New(), index: make(map[int]*list.Element), policy: p}
+}
+
+// Policy returns the cache's replacement policy.
+func (c *Cache) Policy() Policy { return c.policy }
+
+// Len returns the number of cached tensors.
+func (c *Cache) Len() int { return c.ll.Len() }
+
+// Stats returns a copy of the activity counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Contains reports whether the tensor is cached, without touching its
+// recency.
+func (c *Cache) Contains(t *tensor.Tensor) bool {
+	_, ok := c.index[t.ID]
+	return ok
+}
+
+// Check is Alg. 2's lookup: on a hit the tensor moves to the recency
+// front (unless the policy is FIFO, which ignores reuse) and true is
+// returned; on a miss false is returned and the caller is expected to
+// materialize the tensor and call In.
+func (c *Cache) Check(t *tensor.Tensor) bool {
+	if e, ok := c.index[t.ID]; ok {
+		if c.policy != FIFO {
+			c.ll.MoveToFront(e)
+		}
+		c.stats.Hits++
+		return true
+	}
+	c.stats.Misses++
+	return false
+}
+
+// In inserts a tensor at the front (Alg. 2's LRU.in). The tensor is
+// unlocked on insertion; the executing layer locks its dependents
+// separately.
+func (c *Cache) In(t *tensor.Tensor) {
+	if e, ok := c.index[t.ID]; ok {
+		c.ll.MoveToFront(e)
+		return
+	}
+	t.Locked = false
+	c.index[t.ID] = c.ll.PushFront(t)
+}
+
+// Remove drops a tensor from the cache without counting an eviction
+// (used when liveness frees a dead tensor).
+func (c *Cache) Remove(t *tensor.Tensor) {
+	if e, ok := c.index[t.ID]; ok {
+		c.ll.Remove(e)
+		delete(c.index, t.ID)
+	}
+}
+
+// Victims returns the unlocked tensors the policy would evict, whose
+// combined footprint reaches need bytes (Alg. 2's LRU.out scan; LRU
+// and FIFO scan from the recency tail, MRU from the front). The bool
+// reports whether enough unlocked bytes exist; the returned tensors
+// are NOT removed — the caller offloads them and then calls Remove,
+// counting the eviction via Evicted.
+func (c *Cache) Victims(need int64) ([]*tensor.Tensor, bool) {
+	var victims []*tensor.Tensor
+	var freed int64
+	next := func(e *list.Element) *list.Element { return e.Prev() }
+	start := c.ll.Back()
+	if c.policy == MRU {
+		next = func(e *list.Element) *list.Element { return e.Next() }
+		start = c.ll.Front()
+	}
+	for e := start; e != nil && freed < need; e = next(e) {
+		t := e.Value.(*tensor.Tensor)
+		if t.Locked {
+			continue
+		}
+		victims = append(victims, t)
+		freed += t.Bytes()
+	}
+	if freed < need {
+		return nil, false
+	}
+	return victims, true
+}
+
+// Evicted records that a victim was offloaded and removes it.
+func (c *Cache) Evicted(t *tensor.Tensor) {
+	c.Remove(t)
+	c.stats.Evictions++
+	c.stats.EvictedBytes += t.Bytes()
+}
+
+// Tensors returns the cached tensors from MRU to LRU (for tests and
+// debugging).
+func (c *Cache) Tensors() []*tensor.Tensor {
+	out := make([]*tensor.Tensor, 0, c.ll.Len())
+	for e := c.ll.Front(); e != nil; e = e.Next() {
+		out = append(out, e.Value.(*tensor.Tensor))
+	}
+	return out
+}

@@ -1,0 +1,218 @@
+package tcache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+func newTensors(n int) []*tensor.Tensor {
+	out := make([]*tensor.Tensor, n)
+	for i := range out {
+		out[i] = &tensor.Tensor{ID: i, Shape: tensor.Shape{N: 1, C: 1, H: 1, W: 256}} // 1 KiB each
+	}
+	return out
+}
+
+func TestCheckHitMiss(t *testing.T) {
+	c := New()
+	ts := newTensors(2)
+	if c.Check(ts[0]) {
+		t.Fatal("empty cache must miss")
+	}
+	c.In(ts[0])
+	if !c.Check(ts[0]) {
+		t.Fatal("inserted tensor must hit")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("stats = %+v, want 1 hit 1 miss", st)
+	}
+}
+
+func TestLRUOrderAndTouch(t *testing.T) {
+	c := New()
+	ts := newTensors(3)
+	c.In(ts[0])
+	c.In(ts[1])
+	c.In(ts[2]) // MRU..LRU = 2,1,0
+	got := c.Tensors()
+	if got[0] != ts[2] || got[2] != ts[0] {
+		t.Fatal("insertion order broken")
+	}
+	c.Check(ts[0]) // touch 0 -> MRU
+	got = c.Tensors()
+	if got[0] != ts[0] || got[2] != ts[1] {
+		t.Fatal("touch must move to MRU")
+	}
+}
+
+func TestVictimsAreLRUFirst(t *testing.T) {
+	c := New()
+	ts := newTensors(3)
+	for _, x := range ts {
+		c.In(x)
+	}
+	v, ok := c.Victims(1024) // one tensor's worth
+	if !ok || len(v) != 1 || v[0] != ts[0] {
+		t.Fatalf("victims = %v, want oldest tensor only", v)
+	}
+	v, ok = c.Victims(2048)
+	if !ok || len(v) != 2 || v[0] != ts[0] || v[1] != ts[1] {
+		t.Fatal("two-victim selection wrong")
+	}
+}
+
+func TestLockedTensorsNotEvicted(t *testing.T) {
+	c := New()
+	ts := newTensors(2)
+	c.In(ts[0])
+	c.In(ts[1])
+	ts[0].Locked = true
+	v, ok := c.Victims(1024)
+	if !ok || len(v) != 1 || v[0] != ts[1] {
+		t.Fatal("locked LRU tensor must be skipped")
+	}
+	ts[1].Locked = true
+	if _, ok := c.Victims(1024); ok {
+		t.Fatal("all-locked cache must report insufficient space")
+	}
+}
+
+func TestInsufficientVictims(t *testing.T) {
+	c := New()
+	c.In(newTensors(1)[0])
+	if _, ok := c.Victims(10 * 1024); ok {
+		t.Fatal("cache smaller than need must fail")
+	}
+}
+
+func TestEvictedAndRemove(t *testing.T) {
+	c := New()
+	ts := newTensors(2)
+	c.In(ts[0])
+	c.In(ts[1])
+	c.Evicted(ts[0])
+	if c.Contains(ts[0]) || c.Len() != 1 {
+		t.Fatal("evicted tensor still cached")
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.EvictedBytes != 1024 {
+		t.Errorf("eviction stats = %+v", st)
+	}
+	c.Remove(ts[1])
+	if c.Len() != 0 {
+		t.Fatal("remove failed")
+	}
+	if c.Stats().Evictions != 1 {
+		t.Error("Remove must not count as eviction")
+	}
+	c.Remove(ts[1]) // idempotent
+}
+
+func TestInUnlocksAndDeduplicates(t *testing.T) {
+	c := New()
+	ts := newTensors(1)
+	ts[0].Locked = true
+	c.In(ts[0])
+	if ts[0].Locked {
+		t.Error("In must unlock (Alg. 2 line 2)")
+	}
+	c.In(ts[0]) // re-insert must not duplicate
+	if c.Len() != 1 {
+		t.Error("duplicate insertion")
+	}
+}
+
+func TestFIFOIgnoresReuse(t *testing.T) {
+	c := NewWithPolicy(FIFO)
+	ts := newTensors(3)
+	for _, x := range ts {
+		c.In(x)
+	}
+	if !c.Check(ts[0]) {
+		t.Fatal("FIFO hit lookup broken")
+	}
+	// Despite the hit, ts[0] remains the first-in victim.
+	v, ok := c.Victims(1024)
+	if !ok || v[0] != ts[0] {
+		t.Fatalf("FIFO victim = %v, want first inserted", v)
+	}
+	if c.Policy() != FIFO {
+		t.Error("policy accessor broken")
+	}
+}
+
+func TestMRUEvictsFreshest(t *testing.T) {
+	c := NewWithPolicy(MRU)
+	ts := newTensors(3)
+	for _, x := range ts {
+		c.In(x)
+	}
+	c.Check(ts[1]) // ts[1] becomes MRU
+	v, ok := c.Victims(1024)
+	if !ok || v[0] != ts[1] {
+		t.Fatalf("MRU victim = %v, want most recently used", v)
+	}
+	ts[1].Locked = true
+	v, ok = c.Victims(1024)
+	if !ok || v[0] != ts[2] {
+		t.Fatalf("MRU locked skip broken: %v", v)
+	}
+	ts[1].Locked = false
+}
+
+func TestPolicyString(t *testing.T) {
+	if LRU.String() != "lru" || FIFO.String() != "fifo" || MRU.String() != "mru" {
+		t.Error("policy names wrong")
+	}
+	if Policy(9).String() == "" {
+		t.Error("unknown policy must print")
+	}
+}
+
+// Property: after any operation sequence, Victims(need) returns
+// unlocked tensors in strict LRU order with enough combined bytes.
+func TestVictimOrderProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		c := New()
+		ts := newTensors(8)
+		for _, op := range ops {
+			x := ts[int(op)%8]
+			switch (op / 8) % 3 {
+			case 0:
+				c.In(x)
+			case 1:
+				c.Check(x)
+			case 2:
+				c.Remove(x)
+			}
+		}
+		v, ok := c.Victims(2048)
+		if !ok {
+			return true
+		}
+		// Victims must appear in reverse (LRU-first) order of the list.
+		all := c.Tensors()
+		idx := make(map[int]int)
+		for i, x := range all {
+			idx[x.ID] = i
+		}
+		last := len(all)
+		for _, x := range v {
+			if idx[x.ID] >= last {
+				return false
+			}
+			last = idx[x.ID]
+		}
+		var sum int64
+		for _, x := range v {
+			sum += x.Bytes()
+		}
+		return sum >= 2048
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

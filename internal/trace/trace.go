@@ -1,0 +1,127 @@
+// Package trace exports the simulated execution timeline in the
+// Chrome trace-event format (chrome://tracing, Perfetto), with one
+// lane per engine — compute, H2D DMA, D2H DMA — so the overlap of
+// communications and computations the runtime engineers for (§3.3) can
+// be inspected visually.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Span is one executed task on one engine lane.
+type Span struct {
+	Lane  string // "compute", "h2d", "d2h"
+	Name  string // e.g. "conv1 fwd", "offload conv1.y"
+	Start sim.Time
+	End   sim.Time
+}
+
+// Duration returns the span's length.
+func (s Span) Duration() sim.Duration { return sim.Duration(s.End - s.Start) }
+
+// event is the Chrome trace-event JSON shape ("X" = complete event,
+// "M" = metadata). Timestamps are microseconds.
+type event struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChrome writes the spans as a Chrome trace JSON document.
+func WriteChrome(w io.Writer, spans []Span) error {
+	lanes := laneIndex(spans)
+	events := make([]event, 0, len(spans)+len(lanes))
+	names := make([]string, len(lanes))
+	for lane, tid := range lanes {
+		names[tid] = lane
+	}
+	for tid, lane := range names {
+		events = append(events, event{
+			Name: "thread_name", Ph: "M", Pid: 0, Tid: tid,
+			Args: map[string]any{"name": lane},
+		})
+	}
+	for _, s := range spans {
+		events = append(events, event{
+			Name: s.Name, Ph: "X",
+			Ts:  float64(s.Start) / 1e3,
+			Dur: float64(s.End-s.Start) / 1e3,
+			Pid: 0, Tid: lanes[s.Lane],
+		})
+	}
+	doc := struct {
+		TraceEvents []event `json:"traceEvents"`
+		Unit        string  `json:"displayTimeUnit"`
+	}{events, "ms"}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+func laneIndex(spans []Span) map[string]int {
+	set := map[string]bool{}
+	for _, s := range spans {
+		set[s.Lane] = true
+	}
+	lanes := make([]string, 0, len(set))
+	for l := range set {
+		lanes = append(lanes, l)
+	}
+	sort.Strings(lanes)
+	idx := make(map[string]int, len(lanes))
+	for i, l := range lanes {
+		idx[l] = i
+	}
+	return idx
+}
+
+// Summary aggregates per-lane busy time and span counts — a quick
+// text alternative to the visual trace.
+func Summary(spans []Span) string {
+	type agg struct {
+		busy  sim.Duration
+		count int
+		last  sim.Time
+	}
+	lanes := map[string]*agg{}
+	var span sim.Time
+	for _, s := range spans {
+		a := lanes[s.Lane]
+		if a == nil {
+			a = &agg{}
+			lanes[s.Lane] = a
+		}
+		a.busy += s.Duration()
+		a.count++
+		if s.End > a.last {
+			a.last = s.End
+		}
+		if s.End > span {
+			span = s.End
+		}
+	}
+	names := make([]string, 0, len(lanes))
+	for l := range lanes {
+		names = append(names, l)
+	}
+	sort.Strings(names)
+	out := fmt.Sprintf("timeline span %v\n", sim.Duration(span))
+	for _, l := range names {
+		a := lanes[l]
+		util := 0.0
+		if span > 0 {
+			util = float64(a.busy) / float64(span)
+		}
+		out += fmt.Sprintf("  %-8s %5d spans, busy %v (%.0f%% of span)\n", l, a.count, a.busy, 100*util)
+	}
+	return out
+}

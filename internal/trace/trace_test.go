@@ -1,0 +1,85 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func sampleSpans() []Span {
+	return []Span{
+		{Lane: "compute", Name: "conv1 fwd", Start: 0, End: 100},
+		{Lane: "d2h", Name: "offload conv1.y", Start: 50, End: 400},
+		{Lane: "compute", Name: "relu1 fwd", Start: 100, End: 150},
+		{Lane: "h2d", Name: "fetch conv1.y", Start: 500, End: 900},
+	}
+}
+
+func TestWriteChromeValidJSON(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteChrome(&sb, sampleSpans()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	// 3 lane-metadata events + 4 spans.
+	if len(doc.TraceEvents) != 7 {
+		t.Fatalf("events = %d, want 7", len(doc.TraceEvents))
+	}
+	var metas, complete int
+	for _, e := range doc.TraceEvents {
+		switch e["ph"] {
+		case "M":
+			metas++
+		case "X":
+			complete++
+		}
+	}
+	if metas != 3 || complete != 4 {
+		t.Errorf("metas=%d complete=%d", metas, complete)
+	}
+}
+
+func TestChromeTimestampsAreMicroseconds(t *testing.T) {
+	var sb strings.Builder
+	spans := []Span{{Lane: "compute", Name: "k", Start: 2000, End: 5000}} // 2µs..5µs
+	if err := WriteChrome(&sb, spans); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `"ts":2`) || !strings.Contains(sb.String(), `"dur":3`) {
+		t.Errorf("timestamps not in microseconds: %s", sb.String())
+	}
+}
+
+func TestSpanDuration(t *testing.T) {
+	s := Span{Start: 10, End: 250}
+	if s.Duration() != 240 {
+		t.Errorf("duration = %v", s.Duration())
+	}
+}
+
+func TestSummary(t *testing.T) {
+	out := Summary(sampleSpans())
+	for _, want := range []string{"compute", "d2h", "h2d", "2 spans", "timeline span"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+	// Compute lane busy = 150ns over a 900ns span = 17%.
+	if !strings.Contains(out, "17%") {
+		t.Errorf("compute utilization missing:\n%s", out)
+	}
+	_ = sim.Duration(0)
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	if out := Summary(nil); !strings.Contains(out, "timeline span") {
+		t.Errorf("empty summary = %q", out)
+	}
+}

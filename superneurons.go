@@ -1,0 +1,199 @@
+// Package superneurons is a faithful Go reproduction of
+// "SuperNeurons: Dynamic GPU Memory Management for Training Deep
+// Neural Networks" (Wang et al., PPoPP 2018): a dynamic scheduling
+// runtime that trains networks far beyond the GPU DRAM capacity by
+// combining Liveness Analysis, a Unified Tensor Pool
+// (offload/prefetch with an LRU Tensor Cache), and Cost-Aware
+// Recomputation, while dynamically allocating convolution workspaces
+// for speed.
+//
+// The GPU, cuDNN kernels and PCIe links are provided by a
+// deterministic virtual-time simulator (see DESIGN.md for the
+// substitution argument), so every experiment from the paper runs on
+// a laptop:
+//
+//	net, _ := superneurons.Build("ResNet50", 384)
+//	res, err := superneurons.Run(net, superneurons.DefaultConfig(superneurons.TeslaK40c))
+//	if err != nil { ... }
+//	fmt.Println(superneurons.Summary(res))
+//
+// The memory policies of Caffe, Torch, MXNet and TensorFlow are
+// modeled on the same substrate (Frameworks) so the paper's capacity
+// and throughput comparisons isolate exactly the policy differences.
+package superneurons
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/nnet"
+	"repro/internal/policy"
+	"repro/internal/recompute"
+	"repro/internal/utp"
+)
+
+// Core types, re-exported for API stability.
+type (
+	// Config selects the device and the memory/performance techniques.
+	Config = core.Config
+	// Result is the profile of one simulated training run.
+	Result = core.Result
+	// StepProfile is the per-step memory/timing record behind Fig. 10.
+	StepProfile = core.StepProfile
+	// Device describes a simulated GPU.
+	Device = hw.DeviceSpec
+	// Network is a layer graph built by Build or the nnet builders.
+	Network = nnet.Net
+	// Framework is a named competing memory policy.
+	Framework = policy.Framework
+)
+
+// Device profiles used in the paper's evaluation.
+var (
+	// TeslaK40c is the 12 GB card of the capacity experiments.
+	TeslaK40c = hw.TeslaK40c
+	// TitanXP is the card of the throughput experiments (Fig. 14).
+	TitanXP = hw.TitanXP
+)
+
+// ErrOutOfMemory reports that a configuration cannot train a network.
+var ErrOutOfMemory = core.ErrOutOfMemory
+
+// Recomputation strategies (§3.4).
+const (
+	RecomputeNone          = recompute.None
+	RecomputeSpeedCentric  = recompute.SpeedCentric
+	RecomputeMemoryCentric = recompute.MemoryCentric
+	RecomputeCostAware     = recompute.CostAware
+)
+
+// Unified Tensor Pool offload modes (§3.3).
+const (
+	OffloadNone        = utp.OffloadNone
+	OffloadConv        = utp.OffloadConv
+	OffloadConvAndKept = utp.OffloadConvAndKept
+	OffloadSwapAll     = utp.OffloadSwapAll
+)
+
+// DefaultConfig returns the full SuperNeurons runtime configuration
+// for the device: liveness analysis, pinned offload/prefetch with the
+// LRU tensor cache, cost-aware recomputation, the heap memory pool and
+// dynamic convolution workspaces.
+func DefaultConfig(d Device) Config { return core.SuperNeurons(d) }
+
+// BaselineConfig returns the naive network-wide allocation strategy
+// (peak memory Σ l_i^f + Σ l_i^b) used as the paper's reference point.
+func BaselineConfig(d Device) Config { return core.Baseline(d) }
+
+// Build constructs a named network at the given batch size. Networks
+// lists the valid names; ResNets of custom depth are available through
+// BuildResNet.
+func Build(name string, batch int) (*Network, error) {
+	if batch <= 0 {
+		return nil, fmt.Errorf("superneurons: batch must be positive, got %d", batch)
+	}
+	b := nnet.ByName(name)
+	if b == nil {
+		return nil, fmt.Errorf("superneurons: unknown network %q (have %s)",
+			name, strings.Join(Networks(), ", "))
+	}
+	return b(batch), nil
+}
+
+// BuildResNet constructs a bottleneck ResNet from the four stage
+// repeat counts of the paper's Table 4: depth = 3(n1+n2+n3+n4)+2.
+func BuildResNet(batch, n1, n2, n3, n4 int) *Network {
+	return nnet.ResNetStages(batch, n1, n2, n3, n4)
+}
+
+// Networks returns the canonical architecture names in evaluation
+// order.
+func Networks() []string {
+	names := make([]string, len(nnet.Registry))
+	for i, e := range nnet.Registry {
+		names[i] = e.Name
+	}
+	return names
+}
+
+// Run simulates training iterations of the network under the
+// configuration and returns the last iteration's profile.
+func Run(net *Network, cfg Config) (*Result, error) { return core.Run(net, cfg) }
+
+// Frameworks returns the competing memory-policy models (Caffe, MXNet,
+// Torch, TensorFlow, SuperNeurons) in the paper's table order.
+func Frameworks() []Framework { return policy.All }
+
+// FrameworkByName resolves a framework model by name.
+func FrameworkByName(name string) (Framework, bool) { return policy.ByName(name) }
+
+// MaxBatch returns the largest trainable batch for a framework and
+// network on the device (Table 5's metric).
+func MaxBatch(f Framework, network string, d Device, limit int) (int, error) {
+	b := nnet.ByName(network)
+	if b == nil {
+		return 0, fmt.Errorf("superneurons: unknown network %q", network)
+	}
+	return policy.MaxBatch(f, b, d, limit)
+}
+
+// MaxDepth returns the deepest trainable Table-4 ResNet for a
+// framework at the batch size (Table 4's metric), as (n3, depth).
+func MaxDepth(f Framework, d Device, batch, maxN3 int) (int, int, error) {
+	return policy.MaxDepth(f, d, batch, maxN3)
+}
+
+// Throughput returns a framework's training speed (img/s) on the
+// network at the given batch, honoring the framework's configuration
+// fallback chain (e.g. TensorFlow only swaps when it must). It returns
+// 0 when no configuration fits.
+func Throughput(f Framework, network string, batch int, d Device) (float64, error) {
+	b := nnet.ByName(network)
+	if b == nil {
+		return 0, fmt.Errorf("superneurons: unknown network %q", network)
+	}
+	return policy.Speed(f, b(batch), d)
+}
+
+// Summary renders a human-readable report of a run.
+func Summary(r *Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s batch %d\n", r.Network, r.Batch)
+	fmt.Fprintf(&b, "  peak memory      %8.2f MiB (baseline Σf+Σb %.2f, layer floor max(l_i) %.2f)\n",
+		mib(r.PeakResident), mib(r.BaselineBytes), mib(r.LPeak))
+	fmt.Fprintf(&b, "  persistent state %8.2f MiB (params, param grads, aux)\n", mib(r.PersistentBytes))
+	fmt.Fprintf(&b, "  pool high-water  %8.2f MiB\n", mib(r.PoolPeak))
+	fmt.Fprintf(&b, "  iteration time   %v  (%.1f img/s)\n", r.IterTime, r.Throughput)
+	fmt.Fprintf(&b, "  pcie traffic     %8.2f MiB out, %.2f MiB in, stalls %v\n",
+		mib(r.OffloadBytes), mib(r.PrefetchBytes), r.StallTime)
+	fmt.Fprintf(&b, "  recompute        %d extra forward passes\n", r.ExtraForwards)
+	fmt.Fprintf(&b, "  allocator        %d allocs / %d frees, %v total\n",
+		r.AllocCalls, r.FreeCalls, r.AllocTime)
+	if r.CacheHits+r.CacheMisses > 0 {
+		fmt.Fprintf(&b, "  tensor cache     %d hits / %d misses / %d evictions\n",
+			r.CacheHits, r.CacheMisses, r.Evictions)
+	}
+	return b.String()
+}
+
+// PeakSteps returns the labels of the k steps with the highest
+// resident footprints, most expensive first — a quick answer to
+// "where does the memory go".
+func PeakSteps(r *Result, k int) []string {
+	steps := make([]StepProfile, len(r.Steps))
+	copy(steps, r.Steps)
+	sort.Slice(steps, func(i, j int) bool { return steps[i].ResidentBytes > steps[j].ResidentBytes })
+	if k > len(steps) {
+		k = len(steps)
+	}
+	out := make([]string, k)
+	for i := 0; i < k; i++ {
+		out[i] = fmt.Sprintf("%s (%.2f MiB)", steps[i].Label, mib(steps[i].ResidentBytes))
+	}
+	return out
+}
+
+func mib(b int64) float64 { return float64(b) / (1 << 20) }

@@ -1,0 +1,125 @@
+package superneurons
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestBuildKnownNetworks(t *testing.T) {
+	for _, name := range Networks() {
+		net, err := Build(name, 4)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if net.Batch() != 4 {
+			t.Errorf("%s: batch = %d", name, net.Batch())
+		}
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build("LeNet", 4); err == nil {
+		t.Error("unknown network must error")
+	}
+	if _, err := Build("AlexNet", 0); err == nil {
+		t.Error("non-positive batch must error")
+	}
+}
+
+func TestBuildResNetDepth(t *testing.T) {
+	net := BuildResNet(2, 3, 4, 6, 3)
+	if net.Name != "ResNet50" {
+		t.Errorf("name = %s", net.Name)
+	}
+}
+
+func TestRunAndSummary(t *testing.T) {
+	net, _ := Build("AlexNet", 64)
+	r, err := Run(net, DefaultConfig(TeslaK40c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Summary(r)
+	for _, want := range []string{"AlexNet batch 64", "peak memory", "img/s", "tensor cache"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestBaselineVsDefaultPeak(t *testing.T) {
+	net, _ := Build("AlexNet", 200)
+	rb, err := Run(net, BaselineConfig(TeslaK40c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net2, _ := Build("AlexNet", 200)
+	rd, err := Run(net2, DefaultConfig(TeslaK40c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd.PeakResident >= rb.PeakResident {
+		t.Errorf("default config peak %d must beat baseline %d", rd.PeakResident, rb.PeakResident)
+	}
+}
+
+func TestOOMSurfacesSentinel(t *testing.T) {
+	net, _ := Build("ResNet152", 2048)
+	_, err := Run(net, BaselineConfig(TeslaK40c))
+	if !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("err = %v, want ErrOutOfMemory", err)
+	}
+}
+
+func TestFrameworksFacade(t *testing.T) {
+	if len(Frameworks()) != 5 {
+		t.Errorf("frameworks = %d, want 5", len(Frameworks()))
+	}
+	f, ok := FrameworkByName("Caffe")
+	if !ok {
+		t.Fatal("Caffe missing")
+	}
+	b, err := MaxBatch(f, "AlexNet", TeslaK40c, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b <= 0 {
+		t.Error("Caffe must train AlexNet at some batch")
+	}
+	if _, err := MaxBatch(f, "nope", TeslaK40c, 16); err == nil {
+		t.Error("unknown network must error")
+	}
+}
+
+func TestThroughputHonorsFallbackChain(t *testing.T) {
+	// TensorFlow's primary (no-swap) config cannot fit ResNet-50 at
+	// batch 200; Throughput must fall through to its swap config
+	// instead of failing.
+	tf, _ := FrameworkByName("TensorFlow")
+	s, err := Throughput(tf, "ResNet50", 200, TeslaK40c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s <= 0 {
+		t.Fatal("fallback config should have produced throughput")
+	}
+	if _, err := Throughput(tf, "nope", 1, TeslaK40c); err == nil {
+		t.Error("unknown network must error")
+	}
+}
+
+func TestPeakSteps(t *testing.T) {
+	net, _ := Build("AlexNet", 64)
+	r, err := Run(net, DefaultConfig(TeslaK40c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := PeakSteps(r, 3)
+	if len(top) != 3 {
+		t.Fatalf("top = %v", top)
+	}
+	if !strings.Contains(top[0], "MiB") {
+		t.Errorf("entry format: %q", top[0])
+	}
+}
