@@ -1,6 +1,8 @@
 // Command snsweep runs the capacity searches of the evaluation: the
 // deepest trainable ResNet (going deeper, Table 4) or the largest
 // trainable batch (going wider, Table 5) for every framework policy.
+// The per-framework searches run in parallel (internal/par); results
+// land in input order, so the output is deterministic.
 //
 // Usage:
 //
@@ -16,6 +18,7 @@ import (
 	superneurons "repro"
 	"repro/internal/metrics"
 	"repro/internal/nnet"
+	"repro/internal/par"
 )
 
 func main() {
@@ -31,33 +34,48 @@ func main() {
 	flag.Parse()
 
 	dev := superneurons.TeslaK40c
+	frameworks := superneurons.Frameworks()
 	switch *mode {
 	case "deeper":
 		t := metrics.NewTable(
 			fmt.Sprintf("deepest trainable ResNet at batch %d on %s", *batch, dev.Name),
 			"framework", "depth", "n3", "basic layers")
-		for _, f := range superneurons.Frameworks() {
+		type row struct {
+			n3, depth int
+			err       error
+		}
+		rows := par.Map(frameworks, 0, func(f superneurons.Framework) row {
 			n3, depth, err := superneurons.MaxDepth(f, dev, *batch, *maxN3)
-			if err != nil {
-				log.Fatalf("%s: %v", f.Name, err)
+			return row{n3: n3, depth: depth, err: err}
+		})
+		for i, f := range frameworks {
+			if rows[i].err != nil {
+				log.Fatalf("%s: %v", f.Name, rows[i].err)
 			}
 			layers := 0
-			if n3 > 0 {
-				layers = nnet.ResNetTable4(1, n3).BasicLayers()
+			if rows[i].n3 > 0 {
+				layers = nnet.ResNetTable4(1, rows[i].n3).BasicLayers()
 			}
-			t.Add(f.Name, fmt.Sprint(depth), fmt.Sprint(n3), fmt.Sprint(layers))
+			t.Add(f.Name, fmt.Sprint(rows[i].depth), fmt.Sprint(rows[i].n3), fmt.Sprint(layers))
 		}
 		fmt.Print(t.String())
 	case "wider":
 		t := metrics.NewTable(
 			fmt.Sprintf("largest trainable batch for %s on %s", *net, dev.Name),
 			"framework", "batch")
-		for _, f := range superneurons.Frameworks() {
+		type row struct {
+			batch int
+			err   error
+		}
+		rows := par.Map(frameworks, 0, func(f superneurons.Framework) row {
 			b, err := superneurons.MaxBatch(f, *net, dev, *limit)
-			if err != nil {
-				log.Fatalf("%s: %v", f.Name, err)
+			return row{batch: b, err: err}
+		})
+		for i, f := range frameworks {
+			if rows[i].err != nil {
+				log.Fatalf("%s: %v", f.Name, rows[i].err)
 			}
-			t.Add(f.Name, fmt.Sprint(b))
+			t.Add(f.Name, fmt.Sprint(rows[i].batch))
 		}
 		fmt.Print(t.String())
 	default:

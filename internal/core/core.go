@@ -1,21 +1,14 @@
 package core
 
 import (
-	"errors"
 	"fmt"
+	"strings"
 
 	"repro/internal/gpumem"
-	"repro/internal/hw"
-	"repro/internal/layers"
-	"repro/internal/liveness"
+	"repro/internal/memmgr"
 	"repro/internal/nnet"
 	"repro/internal/program"
-	"repro/internal/recompute"
 	"repro/internal/sim"
-	"repro/internal/tcache"
-	"repro/internal/tensor"
-	"repro/internal/trace"
-	"repro/internal/utp"
 )
 
 // ErrOutOfMemory reports that the configuration cannot train the
@@ -25,157 +18,46 @@ var ErrOutOfMemory = gpumem.ErrOutOfMemory
 // Run simulates cfg.Iterations training iterations of net and returns
 // the profile of the last one.
 func Run(net *nnet.Net, cfg Config) (*Result, error) {
-	cfg = cfg.withDefaults()
+	mgr, ok := memmgr.Lookup(cfg.Manager)
+	if !ok {
+		return nil, fmt.Errorf("core: %s batch %d: unknown memory manager %q (have %s)",
+			net.Name, net.Batch(), cfg.Manager, strings.Join(memmgr.Names(), ", "))
+	}
+	cfg = mgr.Normalize(cfg).WithDefaults()
 	p := program.BuildWith(net, program.Options{InPlaceAct: cfg.InPlaceAct})
-	e := newExec(p, cfg)
+	e := newExec(p, cfg, mgr)
 	if err := e.run(); err != nil {
 		return nil, fmt.Errorf("core: %s batch %d: %w", net.Name, net.Batch(), err)
 	}
-	return e.res, nil
+	return e.rt.Res, nil
 }
 
-// tstate is the executor's mutable view of one tensor.
-type tstate struct {
-	gpu  gpumem.Allocation
-	host gpumem.Allocation
-	// hostPool indexes the external pool holding the host copy.
-	hostPool int
-
-	onGPU  bool
-	onHost bool
-
-	// inflight gates GPU reads on a pending H2D copy.
-	inflight      sim.Event
-	inflightValid bool
-
-	// offPending marks an issued D2H whose GPU copy is reclaimable
-	// once the event completes and the forward read horizon passes.
-	offEv      sim.Event
-	offPending bool
-}
-
+// exec orchestrates one run: it owns the step loop and delegates every
+// memory-management decision to the manager's subsystems. The
+// normalized configuration lives in rt.Cfg, shared with the
+// subsystems.
 type exec struct {
-	cfg   Config
-	p     *program.Program
-	live  *liveness.Result
-	rplan *recompute.Plan
-	uplan *utp.Plan
-
-	tl      *sim.Timeline
-	compute *sim.Engine
-	h2d     *sim.Engine
-	d2h     *sim.Engine
-
-	gpu gpumem.Allocator
-	// The Unified Tensor Pool's external memory spaces, filled in
-	// order (local CPU DRAM first, then peers/remote per Fig. 7).
-	hosts     []*gpumem.Pool
-	hostLinks []hw.LinkSpec
-	hostNames []string
-
-	cache *tcache.Cache
-
-	ts    []tstate
-	owner []int // tensor ID -> producing node ID (-1 for gradients)
-
-	resBytes int64
-	resCount int
-
-	segReplayed []bool
-	persistent  gpumem.Allocation
-	curStep     int
-
-	// dropAt[si] lists dropped-tensor IDs whose forward read horizon
-	// ends at step si; pendingOff tracks issued offloads awaiting
-	// harvest. Both keep the per-step work proportional to actual
-	// events rather than the tensor count (ResNet-2500 has ~60k
-	// tensors).
-	dropAt     [][]int
-	pendingOff []int
-
-	// algoCache holds autotuned convolution choices per step index,
-	// keyed with the workspace budget they were tuned under.
-	algoCache map[int]tunedAlgo
-
-	res *Result
+	rt *memmgr.Runtime
+	mm memmgr.Components
 }
 
-// tunedAlgo is one cached autotune result.
-type tunedAlgo struct {
-	algo   layers.Algo
-	budget int64
-}
-
-func newExec(p *program.Program, cfg Config) *exec {
-	e := &exec{
-		cfg:   cfg,
-		p:     p,
-		live:  liveness.Analyze(p),
-		tl:    sim.NewTimeline(),
-		ts:    make([]tstate, p.Reg.Len()),
-		owner: make([]int, p.Reg.Len()),
-		res:   &Result{Network: p.Net.Name, Batch: p.Net.Batch()},
-	}
-	e.rplan = recompute.BuildPlan(p, cfg.Recompute)
-	e.uplan = utp.BuildPlan(p, cfg.Offload, e.rplan)
-	e.segReplayed = make([]bool, len(e.rplan.Segments))
-	e.compute = e.tl.NewEngine("compute")
-	e.h2d = e.tl.NewEngine("h2d")
-	e.d2h = e.tl.NewEngine("d2h")
-	if cfg.UseMemPool {
-		e.gpu = gpumem.NewPool(cfg.PoolBytes, cfg.Device.PoolOp)
-	} else {
-		e.gpu = gpumem.NewNative(cfg.PoolBytes, cfg.Device.CudaMalloc, cfg.Device.CudaFree)
-	}
-	e.hosts = []*gpumem.Pool{gpumem.NewPool(cfg.HostBytes, cfg.Device.PoolOp)}
-	e.hostLinks = []hw.LinkSpec{cfg.HostLink}
-	e.hostNames = []string{"cpu"}
-	for _, ep := range cfg.ExternalPools {
-		e.hosts = append(e.hosts, gpumem.NewPool(ep.Bytes, cfg.Device.PoolOp))
-		e.hostLinks = append(e.hostLinks, ep.Link)
-		e.hostNames = append(e.hostNames, ep.Name)
-	}
-	if cfg.TensorCache {
-		e.cache = tcache.NewWithPolicy(cfg.CachePolicy)
-	}
-	for i := range e.owner {
-		e.owner[i] = -1
-	}
-	for _, nd := range p.Net.Nodes {
-		// With in-place sharing several nodes map to one tensor; the
-		// true producer (first writer in creation order) owns it.
-		if e.owner[p.Out[nd.ID].ID] == -1 {
-			e.owner[p.Out[nd.ID].ID] = nd.ID
-		}
-	}
-	e.res.BaselineBytes = p.BaselineBytes()
-	e.res.LPeak, _ = p.LPeak()
-	e.res.PersistentBytes = p.PersistentBytes
-
-	e.dropAt = make([][]int, len(p.Steps))
-	for id := range e.owner {
-		nd := e.owner[id]
-		if nd < 0 || !e.rplan.Drop[nd] {
-			continue
-		}
-		if last := e.uplan.LastFwdRead[id]; last >= 0 {
-			e.dropAt[last] = append(e.dropAt[last], id)
-		}
-	}
-	return e
+func newExec(p *program.Program, cfg Config, mgr memmgr.MemoryManager) *exec {
+	rt := memmgr.NewRuntime(p, cfg)
+	return &exec{rt: rt, mm: mgr.Components(rt)}
 }
 
 func (e *exec) run() error {
+	rt := e.rt
 	// Parameters, parameter gradients and auxiliary state live on the
 	// GPU for the whole run.
-	if e.p.PersistentBytes > 0 {
-		a, err := e.gpu.Alloc(e.p.PersistentBytes)
+	if rt.P.PersistentBytes > 0 {
+		a, err := rt.GPU.Alloc(rt.P.PersistentBytes)
 		if err != nil {
 			return fmt.Errorf("allocating persistent state: %w", err)
 		}
-		e.persistent = a
+		rt.Persistent = a
 	}
-	for it := 0; it < e.cfg.Iterations; it++ {
+	for it := 0; it < rt.Cfg.Iterations; it++ {
 		if err := e.runIteration(); err != nil {
 			return err
 		}
@@ -184,689 +66,41 @@ func (e *exec) run() error {
 }
 
 func (e *exec) runIteration() error {
-	// Reset per-iteration accounting so the reported numbers describe
-	// one steady-state iteration.
-	e.res.Steps = e.res.Steps[:0]
-	e.res.OffloadBytes, e.res.PrefetchBytes = 0, 0
-	e.res.ExtraForwards = 0
-	e.res.AllocCalls, e.res.FreeCalls, e.res.AllocTime = 0, 0, 0
-	e.res.StallTime = 0
-	e.res.PeakResident, e.res.PeakStep = 0, 0
-	e.res.Trace = e.res.Trace[:0]
-	for i := range e.segReplayed {
-		e.segReplayed[i] = false
-	}
-	e.pendingOff = e.pendingOff[:0]
-	start := e.tl.Now()
+	rt := e.rt
+	rt.ResetIteration()
+	start := rt.TL.Now()
 
-	for si := range e.p.Steps {
+	for si := range rt.P.Steps {
 		if err := e.runStep(si); err != nil {
 			return err
 		}
 	}
-	if e.cfg.SGDUpdate {
+	if rt.Cfg.SGDUpdate {
 		e.runUpdate()
 	}
 
 	// Iteration epilogue: without Liveness Analysis nothing was freed
 	// mid-iteration (the naive baseline); reclaim everything now. With
 	// it, only stragglers with pending transfers remain.
-	for id := range e.ts {
-		e.freeAll(e.p.Reg.Get(id))
+	for id := range rt.TS {
+		e.mm.Residency.FreeAll(rt.P.Reg.Get(id))
 	}
-	if e.resBytes != 0 || e.resCount != 0 {
-		return fmt.Errorf("internal accounting drift: %d bytes / %d tensors leak", e.resBytes, e.resCount)
+	if rt.ResBytes != 0 || rt.ResCount != 0 {
+		return fmt.Errorf("internal accounting drift: %d bytes / %d tensors leak", rt.ResBytes, rt.ResCount)
 	}
 
-	e.res.IterTime = sim.Duration(e.tl.Now() - start)
-	if e.res.IterTime > 0 {
-		e.res.Throughput = float64(e.p.Net.Batch()) / e.res.IterTime.Seconds()
+	res := rt.Res
+	res.IterTime = sim.Duration(rt.TL.Now() - start)
+	if res.IterTime > 0 {
+		res.Throughput = float64(rt.P.Net.Batch()) / res.IterTime.Seconds()
 	}
-	e.res.PoolPeak = e.gpu.Peak()
-	e.res.ComputeBusy = e.compute.BusyTime()
-	e.res.H2DBusy = e.h2d.BusyTime()
-	e.res.D2HBusy = e.d2h.BusyTime()
-	if e.cache != nil {
-		cs := e.cache.Stats()
-		e.res.CacheHits, e.res.CacheMisses, e.res.Evictions = cs.Hits, cs.Misses, cs.Evictions
+	res.PoolPeak = rt.GPU.Peak()
+	res.ComputeBusy = rt.Compute.BusyTime()
+	res.H2DBusy = rt.H2D.BusyTime()
+	res.D2HBusy = rt.D2H.BusyTime()
+	if rt.Cache != nil {
+		cs := rt.Cache.Stats()
+		res.CacheHits, res.CacheMisses, res.Evictions = cs.Hits, cs.Misses, cs.Evictions
 	}
 	return nil
-}
-
-func (e *exec) runStep(si int) error {
-	st := &e.p.Steps[si]
-	e.curStep = si
-	stepStart := e.tl.Now()
-
-	// Trigger planned prefetches so the H2D copy overlaps this step's
-	// computation (§3.3.1).
-	if e.cfg.Prefetch {
-		for _, tid := range e.uplan.PrefetchAt[si] {
-			t := e.p.Reg.Get(tid)
-			s := &e.ts[tid]
-			if s.onHost && !s.onGPU && !s.inflightValid {
-				// Prefetch failures are tolerated: the tensor will be
-				// fetched on demand at its use.
-				_ = e.fetch(t)
-			}
-		}
-	}
-	e.harvestOffloads(false)
-
-	// Recomputation replays reconstruct dropped forward dependencies.
-	var replayedNow []*tensor.Tensor
-	if st.Phase == program.Backward {
-		var err error
-		replayedNow, err = e.replayFor(st)
-		if err != nil {
-			return err
-		}
-	}
-
-	// Pin reads on the GPU, collecting the transfer events the kernel
-	// must wait for.
-	var deps []sim.Event
-	for _, t := range st.Reads {
-		s := &e.ts[t.ID]
-		if !s.onGPU {
-			if !s.onHost {
-				return fmt.Errorf("step %d (%s): read %s is neither on GPU nor host", si, st.Label(), t)
-			}
-			if e.cache != nil {
-				e.cache.Check(t) // records the miss
-			}
-			if err := e.fetch(t); err != nil {
-				return err
-			}
-		} else if e.cache != nil {
-			e.cache.Check(t) // hit: move to MRU
-		}
-		if s.inflightValid {
-			deps = append(deps, s.inflight)
-			if s.inflight.DoneBy(e.tl.Now()) {
-				s.inflightValid = false
-			}
-		}
-		t.Locked = true
-	}
-	// Materialize writes.
-	for _, t := range st.Writes {
-		s := &e.ts[t.ID]
-		if !s.onGPU {
-			if err := e.alloc(t); err != nil {
-				return err
-			}
-			if e.cache != nil {
-				e.cache.In(t)
-			}
-		}
-		t.Locked = true
-	}
-
-	// Dynamic convolution workspace (§3.5): the fastest algorithm that
-	// fits the bytes left after the functional tensors.
-	var wsAlloc gpumem.Allocation
-	var wsBytes int64
-	algo := layers.Algo{Kind: layers.AlgoImplicitGEMM, Speedup: 1.0}
-	var maxWS int64
-	if st.Node.L.Type == layers.Conv {
-		maxWS = st.Node.L.MaxSpeedAlgo().Workspace
-		if e.cfg.DynamicWorkspace {
-			budget := e.gpu.MaxAlloc()
-			if e.cfg.WorkspaceLimit > 0 && e.cfg.WorkspaceLimit < budget {
-				budget = e.cfg.WorkspaceLimit
-			}
-			algo = e.selectAlgo(st, budget)
-			if algo.Workspace > 0 {
-				a, err := e.gpu.Alloc(algo.Workspace)
-				if err != nil {
-					// Should not happen in this single-threaded
-					// executor; degrade to the zero-workspace algorithm.
-					algo = layers.Algo{Kind: layers.AlgoImplicitGEMM, Speedup: 1.0}
-				} else {
-					e.chargeAlloc()
-					wsAlloc, wsBytes = a, algo.Workspace
-				}
-			}
-		}
-	}
-
-	// Submit the kernel, gated on its inbound transfers.
-	var dur sim.Duration
-	if st.Phase == program.Forward {
-		dur = st.Node.L.FwdTime(e.cfg.Device, algo.Speedup)
-	} else {
-		dur = st.Node.L.BwdTime(e.cfg.Device, algo.Speedup)
-	}
-	engineFree := e.compute.FreeAt()
-	ev := e.compute.Submit(e.tl.Now(), dur, deps...)
-	kernelStart := ev.At() - sim.Time(dur)
-	floor := engineFree
-	if e.tl.Now() > floor {
-		floor = e.tl.Now()
-	}
-	if kernelStart > floor {
-		e.res.StallTime += sim.Duration(kernelStart - floor)
-	}
-	e.span("compute", st.Label(), ev, dur)
-	e.tl.Wait(ev)
-
-	if wsBytes > 0 {
-		e.chargeFree()
-		if err := e.gpu.Free(wsAlloc.ID); err != nil {
-			return err
-		}
-	}
-
-	// Eager offload: checkpoint outputs leave for pinned host memory
-	// as soon as they are produced; with the Tensor Cache the transfer
-	// only happens under memory pressure (eviction).
-	if st.Phase == program.Forward && e.cache == nil && e.cfg.Offload != utp.OffloadNone {
-		out := e.p.Out[st.Node.ID]
-		if e.uplan.OffloadTensor[out.ID] && e.ts[out.ID].onGPU {
-			e.issueOffload(out)
-		}
-	}
-	// The input batch is host-backed by definition — it was staged in
-	// CPU RAM by the data pipeline — so its GPU copy is reclaimable
-	// after the forward pass at zero D2H cost. With the Tensor Cache
-	// the copy stays cached until real memory pressure evicts it.
-	if st.Phase == program.Forward && st.Node.L.Type == layers.Data && e.cfg.Liveness && e.cache == nil {
-		out := e.p.Out[st.Node.ID]
-		s := &e.ts[out.ID]
-		if s.onGPU && !s.onHost {
-			// The input batch lives in local CPU DRAM (pool 0).
-			if ha, err := e.hosts[0].Alloc(out.Bytes()); err == nil {
-				s.host = ha
-				s.hostPool = 0
-				s.onHost = true
-				s.offPending = true // completes instantly: data was never GPU-only
-				e.pendingOff = append(e.pendingOff, out.ID)
-			}
-		}
-	}
-
-	for _, t := range st.Reads {
-		t.Locked = false
-	}
-	for _, t := range st.Writes {
-		t.Locked = false
-	}
-
-	// Post-step frees.
-	if e.cfg.Liveness {
-		// Memory-centric replays evaporate immediately (§3.4).
-		for _, t := range replayedNow {
-			e.freeGPU(t)
-		}
-		for _, tid := range e.live.FreeAfter[si] {
-			e.freeAll(e.p.Reg.Get(tid))
-		}
-		if st.Phase == program.Forward {
-			e.dropAfterFwd(si)
-		}
-	}
-
-	e.res.Steps = append(e.res.Steps, StepProfile{
-		Index:             si,
-		Label:             st.Label(),
-		Phase:             st.Phase,
-		ResidentBytes:     e.resBytes,
-		LiveTensors:       e.resCount,
-		PoolUsedBytes:     e.gpu.Used(),
-		WorkspaceBytes:    wsBytes,
-		MaxSpeedWorkspace: maxWS,
-		Algo:              algo.Kind,
-		Time:              sim.Duration(e.tl.Now() - stepStart),
-	})
-	return nil
-}
-
-// runUpdate models the momentum-SGD weight update: a bandwidth-bound
-// pass reading parameters, gradients and momentum and writing
-// parameters and momentum, plus two fused multiply-adds per element.
-func (e *exec) runUpdate() {
-	start := e.tl.Now()
-	params := e.p.Net.ParamBytes()
-	if params == 0 {
-		return
-	}
-	elems := float64(params / tensor.ElemSize)
-	dur := e.cfg.Device.KernelTime(4*elems, 5*params,
-		0.10*e.cfg.Device.EffScale, 0.85*e.cfg.Device.MemEffScale)
-	ev := e.compute.Submit(e.tl.Now(), dur)
-	e.span("compute", "sgd update", ev, dur)
-	e.tl.Wait(ev)
-	e.res.Steps = append(e.res.Steps, StepProfile{
-		Index:         len(e.p.Steps),
-		Label:         "sgd update",
-		Phase:         program.Backward,
-		ResidentBytes: e.resBytes,
-		LiveTensors:   e.resCount,
-		PoolUsedBytes: e.gpu.Used(),
-		Time:          sim.Duration(e.tl.Now() - start),
-	})
-}
-
-// dropAfterFwd frees forward outputs scheduled for recomputation once
-// their forward read horizon passes.
-func (e *exec) dropAfterFwd(si int) {
-	for _, id := range e.dropAt[si] {
-		if e.ts[id].onGPU {
-			e.freeGPU(e.p.Reg.Get(id))
-		}
-	}
-}
-
-// replayFor reconstructs the dropped forward tensors this backward
-// step reads, segment by segment. It returns the tensors that must be
-// freed right after the step (memory-centric replays).
-func (e *exec) replayFor(st *program.Step) ([]*tensor.Tensor, error) {
-	var freeAfter []*tensor.Tensor
-	type segNeed struct {
-		seg    *recompute.Segment
-		maxPos int
-	}
-	var needs []segNeed
-	for _, t := range st.Reads {
-		nd := e.owner[t.ID]
-		if nd < 0 || !e.rplan.Drop[nd] || e.ts[t.ID].onGPU {
-			continue
-		}
-		seg := e.rplan.SegmentOf[nd]
-		if seg == nil {
-			return nil, fmt.Errorf("dropped tensor %s has no segment", t)
-		}
-		pos := -1
-		for i, m := range seg.Members {
-			if m.ID == nd {
-				pos = i
-				break
-			}
-		}
-		found := false
-		for i := range needs {
-			if needs[i].seg == seg {
-				if pos > needs[i].maxPos {
-					needs[i].maxPos = pos
-				}
-				found = true
-			}
-		}
-		if !found {
-			needs = append(needs, segNeed{seg: seg, maxPos: pos})
-		}
-	}
-	var keep map[int]bool
-	if len(needs) > 0 {
-		keep = make(map[int]bool, len(st.Reads))
-		for _, t := range st.Reads {
-			keep[t.ID] = true
-		}
-	}
-	for _, n := range needs {
-		if !n.seg.UseMemoryCentric {
-			// Speed-centric: replay the whole segment once; later
-			// backward steps inside it reuse the results, which
-			// liveness frees at their true last use.
-			if e.segReplayed[n.seg.ID] {
-				continue
-			}
-			if err := e.replayMembers(n.seg, len(n.seg.Members)-1, nil, nil); err != nil {
-				return nil, err
-			}
-			e.segReplayed[n.seg.ID] = true
-		} else {
-			// Memory-centric: replay only the needed prefix, freeing
-			// the chain behind the replay front (streaming), and free
-			// the rest immediately after this step.
-			if err := e.replayMembers(n.seg, n.maxPos, &freeAfter, keep); err != nil {
-				return nil, err
-			}
-		}
-	}
-	return freeAfter, nil
-}
-
-// replayMembers re-runs the forward of segment members [0..upTo],
-// ensuring each replay's own inputs are resident first. In streaming
-// (memory-centric) mode — keep != nil — inputs behind the replay front
-// are freed as soon as the next member has consumed them, unless the
-// triggering step itself needs them, so the replay's transient
-// footprint never exceeds two members plus the backward working set.
-func (e *exec) replayMembers(seg *recompute.Segment, upTo int, freeAfter *[]*tensor.Tensor, keep map[int]bool) error {
-	for i := 0; i <= upTo; i++ {
-		m := seg.Members[i]
-		out := e.p.Out[m.ID]
-		if e.ts[out.ID].onGPU {
-			continue
-		}
-		var deps []sim.Event
-		for _, pr := range m.Prev {
-			in := e.p.Out[pr.ID]
-			s := &e.ts[in.ID]
-			if !s.onGPU {
-				if !s.onHost {
-					return fmt.Errorf("replay of %s: input %s unavailable", m.Name(), in)
-				}
-				if err := e.fetch(in); err != nil {
-					return err
-				}
-			}
-			if s.inflightValid {
-				deps = append(deps, s.inflight)
-			}
-			in.Locked = true
-		}
-		if err := e.alloc(out); err != nil {
-			return err
-		}
-		if e.cache != nil {
-			e.cache.In(out)
-		}
-		dur := m.L.FwdTime(e.cfg.Device, 1.0)
-		ev := e.compute.Submit(e.tl.Now(), dur, deps...)
-		e.span("compute", "replay "+m.Name(), ev, dur)
-		e.tl.Wait(ev)
-		e.res.ExtraForwards++
-		for _, pr := range m.Prev {
-			in := e.p.Out[pr.ID]
-			in.Locked = false
-			if keep == nil || keep[in.ID] {
-				continue
-			}
-			// Streaming free: the input is recoverable either from its
-			// host copy or by another replay (dropped member).
-			s := &e.ts[in.ID]
-			recoverable := s.onHost || (e.owner[in.ID] >= 0 && e.rplan.Drop[e.owner[in.ID]])
-			if s.onGPU && recoverable {
-				e.freeGPU(in)
-			}
-		}
-		if freeAfter != nil {
-			*freeAfter = append(*freeAfter, out)
-		}
-	}
-	return nil
-}
-
-// alloc places a tensor on the GPU, evicting cached tensors or waiting
-// on pending offloads under memory pressure.
-func (e *exec) alloc(t *tensor.Tensor) error {
-	for {
-		a, err := e.gpu.Alloc(t.Bytes())
-		if err == nil {
-			e.chargeAlloc()
-			s := &e.ts[t.ID]
-			s.gpu = a
-			s.onGPU = true
-			t.Place = tensor.OnGPU
-			e.resBytes += t.Bytes()
-			e.resCount++
-			if e.resBytes > e.res.PeakResident {
-				e.res.PeakResident = e.resBytes
-				e.res.PeakStep = e.curStep
-			}
-			return nil
-		}
-		if !errors.Is(err, gpumem.ErrOutOfMemory) {
-			return err
-		}
-		if e.reclaim(t.Bytes()) {
-			continue
-		}
-		return fmt.Errorf("allocating %s (%d bytes): %w", t, t.Bytes(), err)
-	}
-}
-
-// reclaim tries to make room: first harvest pending offload frees,
-// then evict LRU cache victims (Alg. 2's LRU.out).
-func (e *exec) reclaim(need int64) bool {
-	if e.harvestOffloads(true) {
-		return true
-	}
-	if e.cache != nil {
-		victims, ok := e.cache.Victims(need)
-		if !ok {
-			return false
-		}
-		for _, v := range victims {
-			e.evict(v)
-		}
-		return true
-	}
-	return false
-}
-
-// evict synchronously offloads an unlocked LRU victim and frees its
-// GPU copy.
-func (e *exec) evict(t *tensor.Tensor) {
-	s := &e.ts[t.ID]
-	if !s.onGPU {
-		return
-	}
-	if !s.onHost {
-		ha, pool, ok := e.hostAlloc(t.Bytes())
-		if !ok {
-			return // every external pool exhausted: leave resident
-		}
-		s.host = ha
-		s.hostPool = pool
-		s.onHost = true
-		dur := e.hostLinks[pool].TransferTime(t.Bytes())
-		ev := e.d2h.Submit(e.tl.Now(), dur)
-		e.span("d2h", "evict "+t.Name, ev, dur)
-		// The reused memory must not be overwritten before the copy
-		// drains; the synchronous wait is the eviction's cost.
-		if ev.At() > e.tl.Now() {
-			e.res.StallTime += sim.Duration(ev.At() - e.tl.Now())
-		}
-		e.tl.Wait(ev)
-		e.res.OffloadBytes += t.Bytes()
-	}
-	e.cache.Evicted(t)
-	e.freeGPU(t)
-}
-
-// issueOffload starts the eager D2H copy of a freshly produced
-// checkpoint tensor; the GPU copy is reclaimed by harvestOffloads once
-// the transfer completes and the forward no longer reads it.
-func (e *exec) issueOffload(t *tensor.Tensor) {
-	s := &e.ts[t.ID]
-	if s.onHost || s.offPending {
-		return
-	}
-	ha, pool, ok := e.hostAlloc(t.Bytes())
-	if !ok {
-		return
-	}
-	s.host = ha
-	s.hostPool = pool
-	s.onHost = true
-	dur := e.hostLinks[pool].TransferTime(t.Bytes())
-	s.offEv = e.d2h.Submit(e.tl.Now(), dur)
-	s.offPending = true
-	e.span("d2h", "offload "+t.Name, s.offEv, dur)
-	e.pendingOff = append(e.pendingOff, t.ID)
-	e.res.OffloadBytes += t.Bytes()
-}
-
-// harvestOffloads frees GPU copies whose D2H transfer completed and
-// whose forward reads are done (the executor is past the tensor's last
-// forward reader). With force, it waits for a pending transfer if none
-// has completed yet (the background checker thread's job in the real
-// runtime).
-func (e *exec) harvestOffloads(force bool) bool {
-	freed := false
-	waited := false
-	remaining := e.pendingOff[:0]
-	for _, id := range e.pendingOff {
-		s := &e.ts[id]
-		if !s.offPending || !s.onGPU {
-			s.offPending = false
-			continue
-		}
-		t := e.p.Reg.Get(id)
-		if t.Locked || e.curStep <= e.uplan.LastFwdRead[id] {
-			remaining = append(remaining, id)
-			continue
-		}
-		if !s.offEv.DoneBy(e.tl.Now()) {
-			if !force || waited {
-				remaining = append(remaining, id)
-				continue
-			}
-			e.res.StallTime += sim.Duration(s.offEv.At() - e.tl.Now())
-			e.tl.Wait(s.offEv)
-			waited = true
-		}
-		s.offPending = false
-		e.freeGPU(t)
-		freed = true
-	}
-	e.pendingOff = remaining
-	return freed
-}
-
-// fetch brings an offloaded tensor back to the GPU; consuming kernels
-// gate on the recorded in-flight event.
-func (e *exec) fetch(t *tensor.Tensor) error {
-	s := &e.ts[t.ID]
-	if err := e.alloc(t); err != nil {
-		return err
-	}
-	dur := e.hostLinks[s.hostPool].TransferTime(t.Bytes())
-	s.inflight = e.h2d.Submit(e.tl.Now(), dur)
-	s.inflightValid = true
-	e.span("h2d", "fetch "+t.Name, s.inflight, dur)
-	e.res.PrefetchBytes += t.Bytes()
-	if e.cache != nil {
-		e.cache.In(t)
-	}
-	return nil
-}
-
-// freeGPU releases the GPU copy only (any host copy survives).
-func (e *exec) freeGPU(t *tensor.Tensor) {
-	s := &e.ts[t.ID]
-	if !s.onGPU {
-		return
-	}
-	if s.inflightValid {
-		// An in-flight H2D copy targets this memory; it must drain
-		// before the bytes can be reused.
-		e.tl.Wait(s.inflight)
-		s.inflightValid = false
-	}
-	e.chargeFree()
-	if err := e.gpu.Free(s.gpu.ID); err != nil {
-		panic(err) // accounting bug, not a runtime condition
-	}
-	s.onGPU = false
-	e.resBytes -= t.Bytes()
-	e.resCount--
-	if e.cache != nil {
-		e.cache.Remove(t)
-	}
-	if s.onHost {
-		t.Place = tensor.OnHost
-	} else if e.owner[t.ID] >= 0 && e.rplan.Drop[e.owner[t.ID]] {
-		t.Place = tensor.Dropped
-	} else {
-		t.Place = tensor.Unallocated
-	}
-}
-
-// freeAll releases both copies (liveness last-use free).
-func (e *exec) freeAll(t *tensor.Tensor) {
-	s := &e.ts[t.ID]
-	if s.offPending {
-		e.tl.Wait(s.offEv)
-		s.offPending = false
-	}
-	if s.onGPU {
-		e.freeGPU(t)
-	}
-	if s.onHost {
-		if err := e.hosts[s.hostPool].Free(s.host.ID); err != nil {
-			panic(err)
-		}
-		s.onHost = false
-	}
-	t.Place = tensor.Unallocated
-}
-
-// hostAlloc reserves bytes in the first external pool with room,
-// returning the allocation, the pool index and success.
-func (e *exec) hostAlloc(n int64) (gpumem.Allocation, int, bool) {
-	for i, p := range e.hosts {
-		if a, err := p.Alloc(n); err == nil {
-			return a, i, true
-		}
-	}
-	return gpumem.Allocation{}, 0, false
-}
-
-// selectAlgo picks the convolution algorithm for a step under the
-// given workspace budget. With AutotuneConv it emulates
-// cudnnFindConvolutionForwardAlgorithm: the first time a layer is
-// planned (or when the budget no longer covers the cached choice)
-// every memory-feasible candidate runs once on the compute engine and
-// the fastest is cached.
-func (e *exec) selectAlgo(st *program.Step, budget int64) layers.Algo {
-	if !e.cfg.AutotuneConv {
-		return st.Node.L.BestAlgoWithin(budget)
-	}
-	if e.algoCache == nil {
-		e.algoCache = make(map[int]tunedAlgo)
-	}
-	if c, ok := e.algoCache[st.Index]; ok && c.algo.Workspace <= budget && c.budget <= budget {
-		return c.algo
-	}
-	best := layers.Algo{Kind: layers.AlgoImplicitGEMM, Speedup: 1.0}
-	var bestTime sim.Duration = 1 << 62
-	for _, a := range st.Node.L.ConvAlgos() {
-		if a.Workspace > budget {
-			continue
-		}
-		var dur sim.Duration
-		if st.Phase == program.Forward {
-			dur = st.Node.L.FwdTime(e.cfg.Device, a.Speedup)
-		} else {
-			dur = st.Node.L.BwdTime(e.cfg.Device, a.Speedup)
-		}
-		// The probe executes for real, like cudnnFind.
-		ev := e.compute.Submit(e.tl.Now(), dur)
-		e.span("compute", "autotune "+st.Label(), ev, dur)
-		e.tl.Wait(ev)
-		if dur < bestTime {
-			bestTime = dur
-			best = a
-		}
-	}
-	e.algoCache[st.Index] = tunedAlgo{algo: best, budget: budget}
-	return best
-}
-
-// span records a timeline span when tracing is enabled.
-func (e *exec) span(lane, name string, end sim.Event, dur sim.Duration) {
-	if !e.cfg.CollectTrace {
-		return
-	}
-	e.res.Trace = append(e.res.Trace, trace.Span{
-		Lane: lane, Name: name,
-		Start: end.At() - sim.Time(dur), End: end.At(),
-	})
-}
-
-func (e *exec) chargeAlloc() {
-	e.tl.Advance(e.gpu.AllocCost())
-	e.res.AllocCalls++
-	e.res.AllocTime += e.gpu.AllocCost()
-}
-
-func (e *exec) chargeFree() {
-	e.tl.Advance(e.gpu.FreeCost())
-	e.res.FreeCalls++
-	e.res.AllocTime += e.gpu.FreeCost()
 }

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"repro/internal/gpumem"
+	"repro/internal/layers"
+	"repro/internal/program"
+	"repro/internal/sim"
+	"repro/internal/tensor"
+)
+
+// runStep executes one step of the program: it lets the offload engine
+// overlap transfers, the replayer reconstruct dropped dependencies and
+// the residency manager pin the working set, then submits the kernel
+// and applies the post-step policy hooks.
+func (e *exec) runStep(si int) error {
+	rt := e.rt
+	st := &rt.P.Steps[si]
+	rt.CurStep = si
+	stepStart := rt.TL.Now()
+
+	// Trigger planned prefetches so the H2D copy overlaps this step's
+	// computation (§3.3.1), and harvest completed offloads.
+	e.mm.Offload.Prefetch(si)
+	e.mm.Offload.Harvest(false)
+
+	// Recomputation replays reconstruct dropped forward dependencies.
+	var replayedNow []*tensor.Tensor
+	if st.Phase == program.Backward {
+		var err error
+		replayedNow, err = e.mm.Replay.ReplayFor(st)
+		if err != nil {
+			return err
+		}
+	}
+
+	// Pin reads on the GPU, collecting the transfer events the kernel
+	// must wait for, and materialize writes.
+	deps, err := e.mm.Residency.PinReads(st)
+	if err != nil {
+		return err
+	}
+	if err := e.mm.Residency.MaterializeWrites(st); err != nil {
+		return err
+	}
+
+	// Dynamic convolution workspace (§3.5): the fastest algorithm that
+	// fits the bytes left after the functional tensors.
+	var wsAlloc gpumem.Allocation
+	var wsBytes int64
+	algo := layers.Algo{Kind: layers.AlgoImplicitGEMM, Speedup: 1.0}
+	var maxWS int64
+	if st.Node.L.Type == layers.Conv {
+		maxWS = st.Node.L.MaxSpeedAlgo().Workspace
+		if rt.Cfg.DynamicWorkspace {
+			budget := rt.GPU.MaxAlloc()
+			if rt.Cfg.WorkspaceLimit > 0 && rt.Cfg.WorkspaceLimit < budget {
+				budget = rt.Cfg.WorkspaceLimit
+			}
+			algo = e.mm.Tuner.SelectAlgo(st, budget)
+			if algo.Workspace > 0 {
+				a, err := rt.GPU.Alloc(algo.Workspace)
+				if err != nil {
+					// Should not happen in this single-threaded
+					// executor; degrade to the zero-workspace algorithm.
+					algo = layers.Algo{Kind: layers.AlgoImplicitGEMM, Speedup: 1.0}
+				} else {
+					rt.ChargeAlloc()
+					wsAlloc, wsBytes = a, algo.Workspace
+				}
+			}
+		}
+	}
+
+	// Submit the kernel, gated on its inbound transfers.
+	var dur sim.Duration
+	if st.Phase == program.Forward {
+		dur = st.Node.L.FwdTime(rt.Cfg.Device, algo.Speedup)
+	} else {
+		dur = st.Node.L.BwdTime(rt.Cfg.Device, algo.Speedup)
+	}
+	engineFree := rt.Compute.FreeAt()
+	ev := rt.Compute.Submit(rt.TL.Now(), dur, deps...)
+	kernelStart := ev.At() - sim.Time(dur)
+	floor := engineFree
+	if rt.TL.Now() > floor {
+		floor = rt.TL.Now()
+	}
+	if kernelStart > floor {
+		rt.Res.StallTime += sim.Duration(kernelStart - floor)
+	}
+	rt.Span("compute", st.Label(), ev, dur)
+	rt.TL.Wait(ev)
+
+	if wsBytes > 0 {
+		rt.ChargeFree()
+		if err := rt.GPU.Free(wsAlloc.ID); err != nil {
+			return err
+		}
+	}
+
+	// Post-kernel offload protocol: eager D2H of fresh checkpoints and
+	// the zero-cost reclaim of the host-backed input batch.
+	e.mm.Offload.AfterKernel(st)
+
+	e.mm.Residency.Unpin(st)
+
+	// Post-step frees.
+	if rt.Cfg.Liveness {
+		// Memory-centric replays evaporate immediately (§3.4).
+		for _, t := range replayedNow {
+			e.mm.Residency.FreeGPU(t)
+		}
+		for _, tid := range rt.Live.FreeAfter[si] {
+			e.mm.Residency.FreeAll(rt.P.Reg.Get(tid))
+		}
+		if st.Phase == program.Forward {
+			e.mm.Offload.DropAfterFwd(si)
+		}
+	}
+
+	rt.Res.Steps = append(rt.Res.Steps, StepProfile{
+		Index:             si,
+		Label:             st.Label(),
+		Phase:             st.Phase,
+		ResidentBytes:     rt.ResBytes,
+		LiveTensors:       rt.ResCount,
+		PoolUsedBytes:     rt.GPU.Used(),
+		WorkspaceBytes:    wsBytes,
+		MaxSpeedWorkspace: maxWS,
+		Algo:              algo.Kind,
+		Time:              sim.Duration(rt.TL.Now() - stepStart),
+	})
+	return nil
+}
+
+// runUpdate models the momentum-SGD weight update: a bandwidth-bound
+// pass reading parameters, gradients and momentum and writing
+// parameters and momentum, plus two fused multiply-adds per element.
+func (e *exec) runUpdate() {
+	rt := e.rt
+	start := rt.TL.Now()
+	params := rt.P.Net.ParamBytes()
+	if params == 0 {
+		return
+	}
+	elems := float64(params / tensor.ElemSize)
+	dur := rt.Cfg.Device.KernelTime(4*elems, 5*params,
+		0.10*rt.Cfg.Device.EffScale, 0.85*rt.Cfg.Device.MemEffScale)
+	ev := rt.Compute.Submit(rt.TL.Now(), dur)
+	rt.Span("compute", "sgd update", ev, dur)
+	rt.TL.Wait(ev)
+	rt.Res.Steps = append(rt.Res.Steps, StepProfile{
+		Index:         len(rt.P.Steps),
+		Label:         "sgd update",
+		Phase:         program.Backward,
+		ResidentBytes: rt.ResBytes,
+		LiveTensors:   rt.ResCount,
+		PoolUsedBytes: rt.GPU.Used(),
+		Time:          sim.Duration(rt.TL.Now() - start),
+	})
+}

@@ -1,0 +1,189 @@
+package memmgr
+
+import (
+	"repro/internal/hw"
+	"repro/internal/recompute"
+	"repro/internal/utp"
+)
+
+// mgr is the common MemoryManager shape: a name, a policy resolver and
+// a component wiring.
+type mgr struct {
+	name       string
+	normalize  func(Config) Config
+	components func(*Runtime) Components
+}
+
+func (m *mgr) Name() string                      { return m.name }
+func (m *mgr) Normalize(cfg Config) Config       { return m.normalize(cfg) }
+func (m *mgr) Components(rt *Runtime) Components { return m.components(rt) }
+
+// StdComponents wires the full standard machinery: residency with
+// cache eviction, the UTP offload engine, the segment replayer and the
+// dynamic workspace tuner. Which mechanisms actually engage is decided
+// by the normalized Config flags, so this wiring serves every
+// flag-driven ablation as well as the full SuperNeurons policy.
+func StdComponents(rt *Runtime) Components {
+	resid := &StdResidency{rt: rt}
+	off := NewStdOffload(rt, resid)
+	resid.off = off
+	return Components{
+		Residency: resid,
+		Offload:   off,
+		Replay:    NewStdReplayer(rt, resid, off),
+		Tuner:     NewStdTuner(rt),
+	}
+}
+
+// residentComponents wires a keep-everything policy: real residency
+// tracking, but no transfer engine and no replayer. Used by the naive
+// baseline and the Caffe/Torch models (whose static workspace caps
+// still engage the tuner).
+func residentComponents(rt *Runtime) Components {
+	resid := &StdResidency{rt: rt, off: NullOffload{}}
+	return Components{
+		Residency: resid,
+		Offload:   NullOffload{},
+		Replay:    NullReplayer{},
+		Tuner:     NewStdTuner(rt),
+	}
+}
+
+// noRecomputeComponents wires an offload-capable policy without
+// recomputation (vDNN, TensorFlow-style swapping).
+func noRecomputeComponents(rt *Runtime) Components {
+	resid := &StdResidency{rt: rt}
+	off := NewStdOffload(rt, resid)
+	resid.off = off
+	return Components{
+		Residency: resid,
+		Offload:   off,
+		Replay:    NullReplayer{},
+		Tuner:     NewStdTuner(rt),
+	}
+}
+
+// policyOf returns a normalize func that takes the donor constructor's
+// configuration as the complete policy surface — the donor is the
+// single source of truth for the technique flags — and carries over
+// only the capacity and instrumentation fields of the incoming Config.
+// Any technique flag the caller set (including ones added in the
+// future) is therefore owned, and overridden, by the manager.
+func policyOf(donor func(hw.DeviceSpec) Config) func(Config) Config {
+	return func(cfg Config) Config {
+		out := donor(cfg.Device)
+		out.Manager = cfg.Manager
+		out.PoolBytes = cfg.PoolBytes
+		out.HostBytes = cfg.HostBytes
+		out.ExternalPools = cfg.ExternalPools
+		out.Iterations = cfg.Iterations
+		out.CollectTrace = cfg.CollectTrace
+		out.SGDUpdate = cfg.SGDUpdate
+		return out
+	}
+}
+
+// Donor configurations for the framework policy models (§2.2, §4.2 of
+// the paper); SuperNeuronsConfig and BaselineConfig in config.go serve
+// the same role for the paper's runtime and the naive baseline.
+
+// VDNNConfig models Rhu et al.'s vDNN (§5): eager pinned offloading
+// of every sizable single-consumer tensor with prefetching — but no
+// recomputation, no tensor cache, and no dynamic workspace policy
+// beyond a fixed cap.
+func VDNNConfig(d hw.DeviceSpec) Config {
+	return Config{
+		Device: d, HostLink: hw.PCIePinned,
+		UseMemPool: true, DynamicWorkspace: true,
+		WorkspaceLimit: 512 * hw.MiB,
+		Liveness:       true,
+		Offload:        utp.OffloadSwapAll,
+		Prefetch:       true,
+	}
+}
+
+// CaffeConfig keeps the whole network resident and caps each
+// convolution's workspace at its conservative 8 MiB default.
+func CaffeConfig(d hw.DeviceSpec) Config {
+	return Config{
+		Device: d, HostLink: hw.PCIePinned,
+		UseMemPool: true, DynamicWorkspace: true,
+		WorkspaceLimit: 8 * hw.MiB,
+	}
+}
+
+// TorchConfig is Caffe's policy plus in-place activations and a
+// somewhat larger static workspace cap.
+func TorchConfig(d hw.DeviceSpec) Config {
+	c := CaffeConfig(d)
+	c.WorkspaceLimit = 32 * hw.MiB
+	c.InPlaceAct = true
+	return c
+}
+
+// MXNetConfig runs liveness plus the per-segment speed-centric
+// recomputation of Chen et al. with its 1 GiB per-layer workspace
+// default — no swapping, so checkpoint outputs accumulate on GPU.
+func MXNetConfig(d hw.DeviceSpec) Config {
+	return Config{
+		Device: d, HostLink: hw.PCIePinned,
+		UseMemPool: true, DynamicWorkspace: true,
+		WorkspaceLimit: 1 * hw.GiB,
+		Liveness:       true,
+		Recompute:      recompute.SpeedCentric,
+	}
+}
+
+// TensorFlowConfig is TensorFlow's plain execution: DAG liveness over
+// a pageable host link, no swapping, no recomputation.
+func TensorFlowConfig(d hw.DeviceSpec) Config {
+	return Config{
+		Device: d, HostLink: hw.PCIePageable,
+		UseMemPool: true, DynamicWorkspace: true,
+		Liveness: true,
+	}
+}
+
+// TensorFlowSwapConfig is TensorFlow's memory optimizer: when the
+// plain execution does not fit, pageable on-demand swap-out/swap-in
+// pairs for single-consumer tensors (no pinned staging, no prefetch
+// overlap — the ≥50% communication-speed loss §2.2 describes).
+func TensorFlowSwapConfig(d hw.DeviceSpec) Config {
+	c := TensorFlowConfig(d)
+	c.Offload = utp.OffloadSwapAll
+	return c
+}
+
+// Custom is the flag-driven manager: it interprets the Config
+// technique flags literally, which is how the paper's ablation studies
+// toggle individual mechanisms. It is the default for Config.Manager
+// == "".
+var Custom MemoryManager = &mgr{
+	name:       "custom",
+	normalize:  func(cfg Config) Config { return cfg },
+	components: StdComponents,
+}
+
+func init() {
+	Register(Custom)
+	// The paper's full runtime.
+	Register(&mgr{name: "superneurons", components: StdComponents,
+		normalize: policyOf(SuperNeuronsConfig)})
+	// The offload-everything baseline.
+	Register(&mgr{name: "vdnn", components: noRecomputeComponents,
+		normalize: policyOf(VDNNConfig)})
+	// The naive keep-everything baseline (peak = Σ l_i^f + Σ l_i^b).
+	Register(&mgr{name: "naive", components: residentComponents,
+		normalize: policyOf(BaselineConfig)})
+	// The framework comparison models.
+	Register(&mgr{name: "caffe", components: residentComponents,
+		normalize: policyOf(CaffeConfig)})
+	Register(&mgr{name: "torch", components: residentComponents,
+		normalize: policyOf(TorchConfig)})
+	Register(&mgr{name: "mxnet", components: StdComponents,
+		normalize: policyOf(MXNetConfig)})
+	Register(&mgr{name: "tensorflow", components: noRecomputeComponents,
+		normalize: policyOf(TensorFlowConfig)})
+	Register(&mgr{name: "tensorflow-swap", components: noRecomputeComponents,
+		normalize: policyOf(TensorFlowSwapConfig)})
+}

@@ -1,0 +1,193 @@
+package memmgr
+
+import (
+	"fmt"
+
+	"repro/internal/layers"
+	"repro/internal/program"
+	"repro/internal/sim"
+	"repro/internal/tensor"
+	"repro/internal/utp"
+)
+
+// StdOffload is the Unified Tensor Pool's transfer engine: eager D2H
+// offloads of checkpoint outputs, asynchronous harvest of completed
+// transfers, planned prefetches and on-demand fetches, filling the
+// external pools in spill order (local CPU DRAM first, then
+// peers/remote per Fig. 7).
+type StdOffload struct {
+	rt    *Runtime
+	resid Residency
+}
+
+// NewStdOffload wires the standard offload engine over the runtime and
+// its residency manager.
+func NewStdOffload(rt *Runtime, resid Residency) *StdOffload {
+	return &StdOffload{rt: rt, resid: resid}
+}
+
+// Prefetch triggers the planned prefetches so the H2D copy overlaps
+// this step's computation (§3.3.1).
+func (o *StdOffload) Prefetch(si int) {
+	rt := o.rt
+	if !rt.Cfg.Prefetch {
+		return
+	}
+	for _, tid := range rt.UPlan.PrefetchAt[si] {
+		t := rt.P.Reg.Get(tid)
+		s := &rt.TS[tid]
+		if s.OnHost && !s.OnGPU && !s.InflightValid {
+			// Prefetch failures are tolerated: the tensor will be
+			// fetched on demand at its use.
+			_ = o.Fetch(t)
+		}
+	}
+}
+
+// AfterKernel runs the post-kernel offload protocol: checkpoint
+// outputs leave for pinned host memory as soon as they are produced
+// (eager mode), and the host-backed input batch's GPU copy becomes
+// reclaimable at zero D2H cost.
+func (o *StdOffload) AfterKernel(st *program.Step) {
+	rt := o.rt
+	// Eager offload: with the Tensor Cache the transfer only happens
+	// under memory pressure (eviction).
+	if st.Phase == program.Forward && rt.Cache == nil && rt.Cfg.Offload != utp.OffloadNone {
+		out := rt.P.Out[st.Node.ID]
+		if rt.UPlan.OffloadTensor[out.ID] && rt.TS[out.ID].OnGPU {
+			o.IssueOffload(out)
+		}
+	}
+	// The input batch is host-backed by definition — it was staged in
+	// CPU RAM by the data pipeline — so its GPU copy is reclaimable
+	// after the forward pass at zero D2H cost. With the Tensor Cache
+	// the copy stays cached until real memory pressure evicts it.
+	if st.Phase == program.Forward && st.Node.L.Type == layers.Data && rt.Cfg.Liveness && rt.Cache == nil {
+		out := rt.P.Out[st.Node.ID]
+		s := &rt.TS[out.ID]
+		if s.OnGPU && !s.OnHost {
+			// The input batch lives in local CPU DRAM (pool 0).
+			if ha, err := rt.Hosts[0].Alloc(out.Bytes()); err == nil {
+				s.Host = ha
+				s.HostPool = 0
+				s.OnHost = true
+				s.OffPending = true // completes instantly: data was never GPU-only
+				rt.PendingOff = append(rt.PendingOff, out.ID)
+			}
+		}
+	}
+}
+
+// IssueOffload starts the eager D2H copy of a freshly produced
+// checkpoint tensor; the GPU copy is reclaimed by Harvest once the
+// transfer completes and the forward no longer reads it.
+func (o *StdOffload) IssueOffload(t *tensor.Tensor) {
+	rt := o.rt
+	s := &rt.TS[t.ID]
+	if s.OnHost || s.OffPending {
+		return
+	}
+	ha, pool, ok := rt.HostAlloc(t.Bytes())
+	if !ok {
+		return
+	}
+	s.Host = ha
+	s.HostPool = pool
+	s.OnHost = true
+	dur := rt.HostLinks[pool].TransferTime(t.Bytes())
+	s.OffEv = rt.D2H.Submit(rt.TL.Now(), dur)
+	s.OffPending = true
+	rt.Span("d2h", "offload "+t.Name, s.OffEv, dur)
+	rt.PendingOff = append(rt.PendingOff, t.ID)
+	rt.Res.OffloadBytes += t.Bytes()
+}
+
+// Harvest frees GPU copies whose D2H transfer completed and whose
+// forward reads are done (the executor is past the tensor's last
+// forward reader). With force, it waits for a pending transfer if none
+// has completed yet (the background checker thread's job in the real
+// runtime).
+func (o *StdOffload) Harvest(force bool) bool {
+	rt := o.rt
+	freed := false
+	waited := false
+	remaining := rt.PendingOff[:0]
+	for _, id := range rt.PendingOff {
+		s := &rt.TS[id]
+		if !s.OffPending || !s.OnGPU {
+			s.OffPending = false
+			continue
+		}
+		t := rt.P.Reg.Get(id)
+		if t.Locked || rt.CurStep <= rt.UPlan.LastFwdRead[id] {
+			remaining = append(remaining, id)
+			continue
+		}
+		if !s.OffEv.DoneBy(rt.TL.Now()) {
+			if !force || waited {
+				remaining = append(remaining, id)
+				continue
+			}
+			rt.Res.StallTime += sim.Duration(s.OffEv.At() - rt.TL.Now())
+			rt.TL.Wait(s.OffEv)
+			waited = true
+		}
+		s.OffPending = false
+		o.resid.FreeGPU(t)
+		freed = true
+	}
+	rt.PendingOff = remaining
+	return freed
+}
+
+// Fetch brings an offloaded tensor back to the GPU; consuming kernels
+// gate on the recorded in-flight event.
+func (o *StdOffload) Fetch(t *tensor.Tensor) error {
+	rt := o.rt
+	s := &rt.TS[t.ID]
+	if err := o.resid.Alloc(t); err != nil {
+		return err
+	}
+	dur := rt.HostLinks[s.HostPool].TransferTime(t.Bytes())
+	s.Inflight = rt.H2D.Submit(rt.TL.Now(), dur)
+	s.InflightValid = true
+	rt.Span("h2d", "fetch "+t.Name, s.Inflight, dur)
+	rt.Res.PrefetchBytes += t.Bytes()
+	if rt.Cache != nil {
+		rt.Cache.In(t)
+	}
+	return nil
+}
+
+// DropAfterFwd frees forward outputs scheduled for recomputation once
+// their forward read horizon passes.
+func (o *StdOffload) DropAfterFwd(si int) {
+	rt := o.rt
+	for _, id := range rt.DropAt[si] {
+		if rt.TS[id].OnGPU {
+			o.resid.FreeGPU(rt.P.Reg.Get(id))
+		}
+	}
+}
+
+// NullOffload is the keep-everything policy's transfer engine: it
+// never moves a byte. Policies wiring it must not enable offloading,
+// prefetching or recomputation drops.
+type NullOffload struct{}
+
+// Prefetch is a no-op.
+func (NullOffload) Prefetch(int) {}
+
+// Harvest reports that nothing could be freed.
+func (NullOffload) Harvest(bool) bool { return false }
+
+// Fetch fails: nothing is ever on the host under this policy.
+func (NullOffload) Fetch(t *tensor.Tensor) error {
+	return fmt.Errorf("memmgr: null offload engine cannot fetch %s", t)
+}
+
+// AfterKernel is a no-op.
+func (NullOffload) AfterKernel(*program.Step) {}
+
+// DropAfterFwd is a no-op.
+func (NullOffload) DropAfterFwd(int) {}

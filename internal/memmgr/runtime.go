@@ -1,0 +1,194 @@
+package memmgr
+
+import (
+	"repro/internal/gpumem"
+	"repro/internal/hw"
+	"repro/internal/liveness"
+	"repro/internal/program"
+	"repro/internal/recompute"
+	"repro/internal/sim"
+	"repro/internal/tcache"
+	"repro/internal/trace"
+	"repro/internal/utp"
+)
+
+// TState is the runtime's mutable view of one tensor.
+type TState struct {
+	GPU  gpumem.Allocation
+	Host gpumem.Allocation
+	// HostPool indexes the external pool holding the host copy.
+	HostPool int
+
+	OnGPU  bool
+	OnHost bool
+
+	// Inflight gates GPU reads on a pending H2D copy.
+	Inflight      sim.Event
+	InflightValid bool
+
+	// OffPending marks an issued D2H whose GPU copy is reclaimable
+	// once the event completes and the forward read horizon passes.
+	OffEv      sim.Event
+	OffPending bool
+}
+
+// Runtime is the state every subsystem operates over: the simulated
+// timeline and engines, the memory spaces of the Unified Tensor Pool,
+// the planner outputs, per-tensor placement, and the accounting that
+// lands in Result. It corresponds to the paper's runtime context; the
+// policy lives in the MemoryManager components, not here.
+type Runtime struct {
+	Cfg   Config
+	P     *program.Program
+	Live  *liveness.Result
+	RPlan *recompute.Plan
+	UPlan *utp.Plan
+
+	TL      *sim.Timeline
+	Compute *sim.Engine
+	H2D     *sim.Engine
+	D2H     *sim.Engine
+
+	GPU gpumem.Allocator
+	// The Unified Tensor Pool's external memory spaces, filled in
+	// order (local CPU DRAM first, then peers/remote per Fig. 7).
+	Hosts     []*gpumem.Pool
+	HostLinks []hw.LinkSpec
+	HostNames []string
+
+	Cache *tcache.Cache
+
+	TS    []TState
+	Owner []int // tensor ID -> producing node ID (-1 for gradients)
+
+	ResBytes int64
+	ResCount int
+
+	SegReplayed []bool
+	Persistent  gpumem.Allocation
+	CurStep     int
+
+	// DropAt[si] lists dropped-tensor IDs whose forward read horizon
+	// ends at step si; PendingOff tracks issued offloads awaiting
+	// harvest. Both keep the per-step work proportional to actual
+	// events rather than the tensor count (ResNet-2500 has ~60k
+	// tensors).
+	DropAt     [][]int
+	PendingOff []int
+
+	Res *Result
+}
+
+// NewRuntime builds the shared state for one run. cfg must already be
+// normalized (WithDefaults applied).
+func NewRuntime(p *program.Program, cfg Config) *Runtime {
+	rt := &Runtime{
+		Cfg:   cfg,
+		P:     p,
+		Live:  liveness.Analyze(p),
+		TL:    sim.NewTimeline(),
+		TS:    make([]TState, p.Reg.Len()),
+		Owner: make([]int, p.Reg.Len()),
+		Res:   &Result{Network: p.Net.Name, Batch: p.Net.Batch()},
+	}
+	rt.RPlan = recompute.BuildPlan(p, cfg.Recompute)
+	rt.UPlan = utp.BuildPlan(p, cfg.Offload, rt.RPlan)
+	rt.SegReplayed = make([]bool, len(rt.RPlan.Segments))
+	rt.Compute = rt.TL.NewEngine("compute")
+	rt.H2D = rt.TL.NewEngine("h2d")
+	rt.D2H = rt.TL.NewEngine("d2h")
+	if cfg.UseMemPool {
+		rt.GPU = gpumem.NewPool(cfg.PoolBytes, cfg.Device.PoolOp)
+	} else {
+		rt.GPU = gpumem.NewNative(cfg.PoolBytes, cfg.Device.CudaMalloc, cfg.Device.CudaFree)
+	}
+	rt.Hosts = []*gpumem.Pool{gpumem.NewPool(cfg.HostBytes, cfg.Device.PoolOp)}
+	rt.HostLinks = []hw.LinkSpec{cfg.HostLink}
+	rt.HostNames = []string{"cpu"}
+	for _, ep := range cfg.ExternalPools {
+		rt.Hosts = append(rt.Hosts, gpumem.NewPool(ep.Bytes, cfg.Device.PoolOp))
+		rt.HostLinks = append(rt.HostLinks, ep.Link)
+		rt.HostNames = append(rt.HostNames, ep.Name)
+	}
+	if cfg.TensorCache {
+		rt.Cache = tcache.NewWithPolicy(cfg.CachePolicy)
+	}
+	for i := range rt.Owner {
+		rt.Owner[i] = -1
+	}
+	for _, nd := range p.Net.Nodes {
+		// With in-place sharing several nodes map to one tensor; the
+		// true producer (first writer in creation order) owns it.
+		if rt.Owner[p.Out[nd.ID].ID] == -1 {
+			rt.Owner[p.Out[nd.ID].ID] = nd.ID
+		}
+	}
+	rt.Res.BaselineBytes = p.BaselineBytes()
+	rt.Res.LPeak, _ = p.LPeak()
+	rt.Res.PersistentBytes = p.PersistentBytes
+
+	rt.DropAt = make([][]int, len(p.Steps))
+	for id := range rt.Owner {
+		nd := rt.Owner[id]
+		if nd < 0 || !rt.RPlan.Drop[nd] {
+			continue
+		}
+		if last := rt.UPlan.LastFwdRead[id]; last >= 0 {
+			rt.DropAt[last] = append(rt.DropAt[last], id)
+		}
+	}
+	return rt
+}
+
+// ResetIteration clears the per-iteration accounting so the reported
+// numbers describe one steady-state iteration.
+func (rt *Runtime) ResetIteration() {
+	rt.Res.Steps = rt.Res.Steps[:0]
+	rt.Res.OffloadBytes, rt.Res.PrefetchBytes = 0, 0
+	rt.Res.ExtraForwards = 0
+	rt.Res.AllocCalls, rt.Res.FreeCalls, rt.Res.AllocTime = 0, 0, 0
+	rt.Res.StallTime = 0
+	rt.Res.PeakResident, rt.Res.PeakStep = 0, 0
+	rt.Res.Trace = rt.Res.Trace[:0]
+	for i := range rt.SegReplayed {
+		rt.SegReplayed[i] = false
+	}
+	rt.PendingOff = rt.PendingOff[:0]
+}
+
+// HostAlloc reserves bytes in the first external pool with room,
+// returning the allocation, the pool index and success.
+func (rt *Runtime) HostAlloc(n int64) (gpumem.Allocation, int, bool) {
+	for i, p := range rt.Hosts {
+		if a, err := p.Alloc(n); err == nil {
+			return a, i, true
+		}
+	}
+	return gpumem.Allocation{}, 0, false
+}
+
+// Span records a timeline span when tracing is enabled.
+func (rt *Runtime) Span(lane, name string, end sim.Event, dur sim.Duration) {
+	if !rt.Cfg.CollectTrace {
+		return
+	}
+	rt.Res.Trace = append(rt.Res.Trace, trace.Span{
+		Lane: lane, Name: name,
+		Start: end.At() - sim.Time(dur), End: end.At(),
+	})
+}
+
+// ChargeAlloc advances virtual time by one allocator call and counts
+// it.
+func (rt *Runtime) ChargeAlloc() {
+	rt.TL.Advance(rt.GPU.AllocCost())
+	rt.Res.AllocCalls++
+	rt.Res.AllocTime += rt.GPU.AllocCost()
+}
+
+// ChargeFree advances virtual time by one free call and counts it.
+func (rt *Runtime) ChargeFree() {
+	rt.TL.Advance(rt.GPU.FreeCost())
+	rt.Res.FreeCalls++
+	rt.Res.AllocTime += rt.GPU.FreeCost()
+}

@@ -29,14 +29,14 @@ import (
 	"repro/internal/hw"
 	"repro/internal/nnet"
 	"repro/internal/par"
-	"repro/internal/recompute"
-	"repro/internal/utp"
 )
 
 // Framework names a memory policy. Configs returns the runtime
 // configurations tried in order until one fits — TensorFlow's memory
 // optimizer, for instance, only inserts swap nodes when the plain
-// execution would not fit.
+// execution would not fit. Every configuration routes through a named
+// internal/memmgr MemoryManager, so the comparisons exercise the real
+// policy seam rather than ad-hoc flag combinations.
 type Framework struct {
 	Name    string
 	Configs func(d hw.DeviceSpec) []core.Config
@@ -45,58 +45,37 @@ type Framework struct {
 // Config returns the framework's primary (preferred) configuration.
 func (f Framework) Config(d hw.DeviceSpec) core.Config { return f.Configs(d)[0] }
 
-func one(c core.Config) []core.Config { return []core.Config{c} }
+// managed returns a Configs func routing to the named memmgr managers
+// in fallback order.
+func managed(managers ...string) func(d hw.DeviceSpec) []core.Config {
+	return func(d hw.DeviceSpec) []core.Config {
+		out := make([]core.Config, len(managers))
+		for i, m := range managers {
+			out[i] = core.Config{Manager: m, Device: d}
+		}
+		return out
+	}
+}
 
 // Caffe keeps the whole network resident and caps each convolution's
 // workspace at its conservative 8 MiB default.
-var Caffe = Framework{Name: "Caffe", Configs: func(d hw.DeviceSpec) []core.Config {
-	return one(core.Config{
-		Device: d, HostLink: hw.PCIePinned,
-		UseMemPool: true, DynamicWorkspace: true,
-		WorkspaceLimit: 8 * hw.MiB,
-	})
-}}
+var Caffe = Framework{Name: "Caffe", Configs: managed("caffe")}
 
 // Torch is Caffe's policy plus in-place activations and a somewhat
 // larger static workspace cap.
-var Torch = Framework{Name: "Torch", Configs: func(d hw.DeviceSpec) []core.Config {
-	c := Caffe.Config(d)
-	c.InPlaceAct = true
-	c.WorkspaceLimit = 32 * hw.MiB
-	return one(c)
-}}
+var Torch = Framework{Name: "Torch", Configs: managed("torch")}
 
 // MXNet runs liveness plus speed-centric recomputation with its 1 GiB
 // per-layer workspace default.
-var MXNet = Framework{Name: "MXNet", Configs: func(d hw.DeviceSpec) []core.Config {
-	return one(core.Config{
-		Device: d, HostLink: hw.PCIePinned,
-		UseMemPool: true, DynamicWorkspace: true,
-		WorkspaceLimit: 1 * hw.GiB,
-		Liveness:       true,
-		Recompute:      recompute.SpeedCentric,
-	})
-}}
+var MXNet = Framework{Name: "MXNet", Configs: managed("mxnet")}
 
 // TensorFlow runs liveness, first without swapping; when the network
 // does not fit, its memory optimizer inserts pageable on-demand
 // swap-out/swap-in pairs for single-consumer tensors.
-var TensorFlow = Framework{Name: "TensorFlow", Configs: func(d hw.DeviceSpec) []core.Config {
-	plain := core.Config{
-		Device: d, HostLink: hw.PCIePageable,
-		UseMemPool: true, DynamicWorkspace: true,
-		Liveness: true,
-	}
-	swap := plain
-	swap.Offload = utp.OffloadSwapAll
-	swap.Prefetch = false
-	return []core.Config{plain, swap}
-}}
+var TensorFlow = Framework{Name: "TensorFlow", Configs: managed("tensorflow", "tensorflow-swap")}
 
 // SuperNeurons is the paper's full runtime.
-var SuperNeurons = Framework{Name: "SuperNeurons", Configs: func(d hw.DeviceSpec) []core.Config {
-	return one(core.SuperNeurons(d))
-}}
+var SuperNeurons = Framework{Name: "SuperNeurons", Configs: managed("superneurons")}
 
 // VDNN models Rhu et al.'s vDNN (§5): eager pinned offloading of every
 // sizable single-consumer tensor with prefetching — but no
@@ -104,16 +83,7 @@ var SuperNeurons = Framework{Name: "SuperNeurons", Configs: func(d hw.DeviceSpec
 // beyond a fixed cap. Its performance depends entirely on the
 // communication/computation ratio, which is the weakness on non-linear
 // networks the paper calls out.
-var VDNN = Framework{Name: "vDNN", Configs: func(d hw.DeviceSpec) []core.Config {
-	return one(core.Config{
-		Device: d, HostLink: hw.PCIePinned,
-		UseMemPool: true, DynamicWorkspace: true,
-		WorkspaceLimit: 512 * hw.MiB,
-		Liveness:       true,
-		Offload:        utp.OffloadSwapAll,
-		Prefetch:       true,
-	})
-}}
+var VDNN = Framework{Name: "vDNN", Configs: managed("vdnn")}
 
 // All lists the frameworks in the paper's table order.
 var All = []Framework{Caffe, MXNet, Torch, TensorFlow, SuperNeurons}

@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/hw"
+	"repro/internal/memmgr"
 	"repro/internal/nnet"
 	"repro/internal/policy"
 	"repro/internal/recompute"
@@ -83,6 +84,20 @@ const (
 // LRU tensor cache, cost-aware recomputation, the heap memory pool and
 // dynamic convolution workspaces.
 func DefaultConfig(d Device) Config { return core.SuperNeurons(d) }
+
+// Managers returns the names of the registered pluggable memory
+// managers (internal/memmgr). Setting Config.Manager to one of them
+// hands the whole memory policy to that manager — "superneurons" is
+// the paper's runtime, "vdnn" the offload-everything baseline, "naive"
+// keep-everything — while the empty name keeps the flag-driven
+// executor used by the ablation studies.
+func Managers() []string { return memmgr.Names() }
+
+// ManagerConfig returns a configuration that delegates the whole
+// memory policy to the named manager on the given device.
+func ManagerConfig(manager string, d Device) Config {
+	return Config{Manager: manager, Device: d}
+}
 
 // BaselineConfig returns the naive network-wide allocation strategy
 // (peak memory Σ l_i^f + Σ l_i^b) used as the paper's reference point.
