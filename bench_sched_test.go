@@ -1,0 +1,34 @@
+package superneurons
+
+import (
+	"testing"
+)
+
+// BenchmarkMultiTenantSchedulers replays the bundled multi-tenant
+// trace on a two-GPU cluster under each scheduling policy and logs
+// the policy comparison — the multi-workload scenario the single-job
+// paper leaves open. Dry-run estimates are memoized, so steady-state
+// iterations measure the scheduler itself.
+func BenchmarkMultiTenantSchedulers(b *testing.B) {
+	cluster := Cluster{Device: TeslaK40c, Devices: 2}
+	jobs := DefaultClusterTrace()
+	for _, p := range SchedulerPolicies() {
+		b.Run(p.Name, func(b *testing.B) {
+			s, err := NewScheduler(cluster, p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var last *ScheduleResult
+			for i := 0; i < b.N; i++ {
+				r, err := s.Run(jobs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = r
+			}
+			b.Logf("%s: makespan %v, cluster mem util %.1f%%, compute util %.1f%%, mean jct %v, mean wait %v",
+				p.Name, last.Makespan, 100*last.Utilization, 100*last.ComputeUtilization,
+				last.MeanJCT(), last.MeanWait())
+		})
+	}
+}

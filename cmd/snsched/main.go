@@ -1,0 +1,171 @@
+// Command snsched replays a multi-tenant workload trace on a
+// simulated GPU cluster and prints per-job JCT/queueing tables and
+// per-device utilization under each scheduling policy (FIFO,
+// priority with preemption, memory-aware packing).
+//
+// The replay is fully deterministic: admission decisions use the
+// memmgr runtime's dry-run peak/iteration estimates and the cluster
+// runs in virtual time, so two invocations on the same trace produce
+// byte-identical output.
+//
+// Usage:
+//
+//	snsched                         # bundled trace, all policies, 2x K40c
+//	snsched -trace jobs.trace       # replay a custom trace file
+//	snsched -policy packing -devices 4 -device titanxp
+//	snsched -dump-trace             # print the bundled trace file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/hw"
+	"repro/internal/metrics"
+	"repro/internal/policy"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+type options struct {
+	tracePath string
+	devices   int
+	device    string
+	policyArg string
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("snsched: ")
+	var (
+		o    options
+		dump bool
+	)
+	flag.StringVar(&o.tracePath, "trace", "", "trace file (default: the bundled multi-tenant trace)")
+	flag.IntVar(&o.devices, "devices", 2, "number of GPUs in the cluster")
+	flag.StringVar(&o.device, "device", "k40c", "device profile: k40c or titanxp")
+	flag.StringVar(&o.policyArg, "policy", "all", "scheduler policy: fifo, priority, packing or all")
+	flag.BoolVar(&dump, "dump-trace", false, "print the bundled trace in the trace-file format and exit")
+	flag.Parse()
+
+	if dump {
+		fmt.Print(workload.FormatTrace(workload.DefaultTrace()))
+		return
+	}
+	if err := run(o, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(o options, w io.Writer) error {
+	trace := workload.DefaultTrace()
+	if o.tracePath != "" {
+		f, err := os.Open(o.tracePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if trace, err = workload.ParseTrace(f); err != nil {
+			return err
+		}
+	}
+
+	var dev hw.DeviceSpec
+	switch strings.ToLower(o.device) {
+	case "k40c":
+		dev = hw.TeslaK40c
+	case "titanxp":
+		dev = hw.TitanXP
+	default:
+		return fmt.Errorf("unknown device %q (have k40c, titanxp)", o.device)
+	}
+	cluster := sched.Cluster{Device: dev, Devices: o.devices}
+	jobs := sched.JobsFromTrace(trace)
+
+	var results []*sched.Result
+	if o.policyArg == "all" {
+		var err error
+		if results, err = policy.CompareSchedulers(cluster, jobs); err != nil {
+			return err
+		}
+	} else {
+		p, ok := sched.PolicyByName(o.policyArg)
+		if !ok {
+			return fmt.Errorf("unknown policy %q (have fifo, priority, packing, all)", o.policyArg)
+		}
+		s, err := sched.NewScheduler(cluster, p)
+		if err != nil {
+			return err
+		}
+		r, err := s.Run(jobs)
+		if err != nil {
+			return err
+		}
+		results = []*sched.Result{r}
+	}
+
+	fmt.Fprintf(w, "cluster: %d x %s (%.2f GiB usable each), %d jobs\n\n",
+		cluster.Devices, dev.Name, float64(cluster.Capacity())/(1<<30), len(jobs))
+	for _, r := range results {
+		render(w, r)
+	}
+	if len(results) > 1 {
+		renderComparison(w, results)
+	}
+	return nil
+}
+
+// render prints one policy's per-job and per-device tables.
+func render(w io.Writer, r *sched.Result) {
+	jt := metrics.NewTable(fmt.Sprintf("policy %s: per-job schedule", r.Policy),
+		"job", "network", "batch", "manager", "prio", "gpu", "arrival", "wait", "jct", "preempt")
+	for _, j := range r.Jobs {
+		mgr := j.Manager
+		if mgr == "" {
+			mgr = "-"
+		}
+		if j.Rejected {
+			jt.Add(j.ID, j.Network, fmt.Sprint(j.Batch), mgr, fmt.Sprint(j.Priority),
+				"-", ms(int64(j.Arrival)), "-", "rejected", "-")
+			continue
+		}
+		jt.Add(j.ID, j.Network, fmt.Sprint(j.Batch), mgr, fmt.Sprint(j.Priority),
+			fmt.Sprint(j.Device), ms(int64(j.Arrival)), j.Wait.String(), j.JCT.String(),
+			fmt.Sprint(j.Preemptions))
+	}
+	fmt.Fprintln(w, jt.String())
+
+	dt := metrics.NewTable(fmt.Sprintf("policy %s: per-device utilization", r.Policy),
+		"gpu", "busy", "busy%", "peak reserved MiB", "mem util%", "iterations")
+	for i, d := range r.Devices {
+		dt.Add(fmt.Sprint(i), d.Busy.String(), pct(d.BusyFrac), metrics.MiB(d.PeakReserved),
+			pct(d.MemUtil), fmt.Sprint(d.Iterations))
+	}
+	fmt.Fprintln(w, dt.String())
+}
+
+// renderComparison prints the policy-vs-policy summary.
+func renderComparison(w io.Writer, results []*sched.Result) {
+	t := metrics.NewTable("scheduler policy comparison",
+		"policy", "makespan", "cluster mem util%", "compute util%", "mean jct", "mean wait", "preemptions", "rejected")
+	for _, r := range results {
+		pre, rej := 0, 0
+		for _, j := range r.Jobs {
+			pre += j.Preemptions
+			if j.Rejected {
+				rej++
+			}
+		}
+		t.Add(r.Policy, r.Makespan.String(), pct(r.Utilization), pct(r.ComputeUtilization),
+			r.MeanJCT().String(), r.MeanWait().String(), fmt.Sprint(pre), fmt.Sprint(rej))
+	}
+	fmt.Fprintln(w, t.String())
+}
+
+func ms(ns int64) string { return fmt.Sprintf("%dms", ns/1e6) }
+
+func pct(f float64) string { return fmt.Sprintf("%.1f", 100*f) }

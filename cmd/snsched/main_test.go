@@ -1,0 +1,62 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// The acceptance criterion for the replay: two consecutive runs of
+// the bundled trace produce byte-identical JCT/utilization tables.
+func TestReplayDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := run(options{devices: 2, device: "k40c", policyArg: "all"}, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(options{devices: 2, device: "k40c", policyArg: "all"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("two replays differ:\n--- first\n%s\n--- second\n%s", a.String(), b.String())
+	}
+	out := a.String()
+	for _, want := range []string{"policy fifo", "policy priority", "policy packing",
+		"scheduler policy comparison", "rejected", "per-device utilization"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+// A trace file round-trips through -trace exactly like the bundled
+// default.
+func TestTraceFileMatchesBundled(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "default.trace")
+	if err := os.WriteFile(path, []byte(workload.FormatTrace(workload.DefaultTrace())), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var fromFile, bundled bytes.Buffer
+	if err := run(options{tracePath: path, devices: 2, device: "k40c", policyArg: "packing"}, &fromFile); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(options{devices: 2, device: "k40c", policyArg: "packing"}, &bundled); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fromFile.Bytes(), bundled.Bytes()) {
+		t.Error("replaying the formatted bundled trace from a file differs from the built-in default")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run(options{devices: 2, device: "nope", policyArg: "all"}, &bytes.Buffer{}); err == nil {
+		t.Error("unknown device accepted")
+	}
+	if err := run(options{devices: 2, device: "k40c", policyArg: "nope"}, &bytes.Buffer{}); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}

@@ -33,52 +33,62 @@ func main() {
 	)
 	flag.Parse()
 
+	out, err := sweep(*mode, *batch, *maxN3, *net, *limit)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(out)
+}
+
+// sweep renders one capacity-search table; the parallel per-framework
+// searches land in framework order, so the result is a pure function
+// of its arguments.
+func sweep(mode string, batch, maxN3 int, net string, limit int) (string, error) {
 	dev := superneurons.TeslaK40c
 	frameworks := superneurons.Frameworks()
-	switch *mode {
+	switch mode {
 	case "deeper":
 		t := metrics.NewTable(
-			fmt.Sprintf("deepest trainable ResNet at batch %d on %s", *batch, dev.Name),
+			fmt.Sprintf("deepest trainable ResNet at batch %d on %s", batch, dev.Name),
 			"framework", "depth", "n3", "basic layers")
-		type row struct {
-			n3, depth int
-			err       error
-		}
-		rows := par.Map(frameworks, 0, func(f superneurons.Framework) row {
-			n3, depth, err := superneurons.MaxDepth(f, dev, *batch, *maxN3)
-			return row{n3: n3, depth: depth, err: err}
-		})
-		for i, f := range frameworks {
-			if rows[i].err != nil {
-				log.Fatalf("%s: %v", f.Name, rows[i].err)
+		type row struct{ n3, depth int }
+		rows, err := par.MapErr(frameworks, 0, func(f superneurons.Framework) (row, error) {
+			n3, depth, err := superneurons.MaxDepth(f, dev, batch, maxN3)
+			if err != nil {
+				return row{}, fmt.Errorf("%s: %w", f.Name, err)
 			}
+			return row{n3: n3, depth: depth}, nil
+		})
+		if err != nil {
+			return "", err
+		}
+		for i, f := range frameworks {
 			layers := 0
 			if rows[i].n3 > 0 {
 				layers = nnet.ResNetTable4(1, rows[i].n3).BasicLayers()
 			}
 			t.Add(f.Name, fmt.Sprint(rows[i].depth), fmt.Sprint(rows[i].n3), fmt.Sprint(layers))
 		}
-		fmt.Print(t.String())
+		return t.String(), nil
 	case "wider":
 		t := metrics.NewTable(
-			fmt.Sprintf("largest trainable batch for %s on %s", *net, dev.Name),
+			fmt.Sprintf("largest trainable batch for %s on %s", net, dev.Name),
 			"framework", "batch")
-		type row struct {
-			batch int
-			err   error
-		}
-		rows := par.Map(frameworks, 0, func(f superneurons.Framework) row {
-			b, err := superneurons.MaxBatch(f, *net, dev, *limit)
-			return row{batch: b, err: err}
-		})
-		for i, f := range frameworks {
-			if rows[i].err != nil {
-				log.Fatalf("%s: %v", f.Name, rows[i].err)
+		rows, err := par.MapErr(frameworks, 0, func(f superneurons.Framework) (int, error) {
+			b, err := superneurons.MaxBatch(f, net, dev, limit)
+			if err != nil {
+				return 0, fmt.Errorf("%s: %w", f.Name, err)
 			}
-			t.Add(f.Name, fmt.Sprint(rows[i].batch))
+			return b, nil
+		})
+		if err != nil {
+			return "", err
 		}
-		fmt.Print(t.String())
+		for i, f := range frameworks {
+			t.Add(f.Name, fmt.Sprint(rows[i]))
+		}
+		return t.String(), nil
 	default:
-		log.Fatalf("unknown mode %q", *mode)
+		return "", fmt.Errorf("unknown mode %q", mode)
 	}
 }

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// The parallel per-framework searches must not leak goroutine
+// scheduling into the report: consecutive sweeps are byte-identical.
+// This guards the PR 1 parallelization of the capacity searches.
+func TestWiderSweepDeterministic(t *testing.T) {
+	a, err := sweep("wider", 16, 0, "AlexNet", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sweep("wider", 16, 0, "AlexNet", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("two identical sweeps differ:\n--- first\n%s\n--- second\n%s", a, b)
+	}
+	if !strings.Contains(a, "largest trainable batch for AlexNet") {
+		t.Errorf("unexpected sweep output:\n%s", a)
+	}
+	// Every framework fits batch 8 on the K40c, so the capacity
+	// search must saturate the limit for each of them. Rows start
+	// after the title, header and separator lines.
+	for _, line := range strings.Split(strings.TrimSpace(a), "\n")[3:] {
+		if !strings.HasSuffix(strings.TrimSpace(line), " 8") {
+			t.Errorf("framework row did not reach the search limit: %q", line)
+		}
+	}
+}
+
+func TestSweepUnknownMode(t *testing.T) {
+	if _, err := sweep("sideways", 1, 1, "AlexNet", 1); err == nil {
+		t.Error("unknown mode accepted")
+	}
+}

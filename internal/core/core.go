@@ -15,6 +15,19 @@ import (
 // network on the device; capacity searches rely on it.
 var ErrOutOfMemory = gpumem.ErrOutOfMemory
 
+// Result and StepProfile moved to internal/memmgr with the
+// memory-manager extraction (the Runtime owns the profile it fills
+// in); the aliases keep core's Run signature self-contained for the
+// packages and examples built on top of it.
+type (
+	// Result aggregates one run.
+	Result = memmgr.Result
+	// StepProfile records the memory state after one step executed —
+	// the data behind the paper's Fig. 10 step-wise curves and
+	// Fig. 12 workspace bars.
+	StepProfile = memmgr.StepProfile
+)
+
 // Run simulates cfg.Iterations training iterations of net and returns
 // the profile of the last one.
 func Run(net *nnet.Net, cfg Config) (*Result, error) {

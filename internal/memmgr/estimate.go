@@ -1,0 +1,25 @@
+package memmgr
+
+import "repro/internal/sim"
+
+// Estimate is the admission-control summary of one dry run: what a
+// manager predicts a job will cost on an otherwise-idle device. Every
+// manager's Result is deterministic (the conformance suite asserts
+// bit-reproducibility), so an Estimate extracted from a single
+// dry-run iteration is a sound capacity bound for a multi-tenant
+// scheduler — the run *is* the prediction.
+type Estimate struct {
+	// PeakBytes is the pool high-water mark including persistent
+	// state: what must be free on a device to admit the job.
+	PeakBytes int64
+	// IterTime is the duration of one steady-state iteration when the
+	// job runs alone on the device.
+	IterTime sim.Duration
+	// Throughput is the matching images/second.
+	Throughput float64
+}
+
+// EstimateOf extracts the scheduling estimate from a dry run's Result.
+func EstimateOf(r *Result) Estimate {
+	return Estimate{PeakBytes: r.PoolPeak, IterTime: r.IterTime, Throughput: r.Throughput}
+}

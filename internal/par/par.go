@@ -1,7 +1,10 @@
 // Package par provides small deterministic parallel-execution helpers
 // for the capacity searches and benchmark sweeps: results land in
 // input order regardless of goroutine scheduling, so every report is
-// reproducible.
+// reproducible. Failures are deterministic too — a panic inside a
+// worker re-raises on the caller's goroutine, and errors surface in
+// input order — so a parallel sweep fails exactly like its
+// sequential equivalent.
 package par
 
 import (
@@ -11,6 +14,12 @@ import (
 
 // For runs fn(i) for i in [0,n) on up to workers goroutines (workers
 // <= 0 selects GOMAXPROCS). It returns when all calls finished.
+//
+// A panic inside fn does not crash the process from a worker
+// goroutine: it is recovered and re-raised on the caller's goroutine
+// after all workers stop. When several calls panic, the one with the
+// smallest index wins, matching what a sequential loop would have
+// raised first.
 func For(n, workers int, fn func(i int)) {
 	if n <= 0 {
 		return
@@ -21,9 +30,32 @@ func For(n, workers int, fn func(i int)) {
 	if workers > n {
 		workers = n
 	}
+	var (
+		mu       sync.Mutex
+		panicked bool
+		panicIdx int
+		panicVal any
+	)
+	call := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				mu.Lock()
+				if !panicked || i < panicIdx {
+					panicked, panicIdx, panicVal = true, i, r
+				}
+				mu.Unlock()
+			}
+		}()
+		fn(i)
+	}
 	if workers == 1 {
+		// Same contract as the parallel path: every call runs, the
+		// first panic re-raises afterwards.
 		for i := 0; i < n; i++ {
-			fn(i)
+			call(i)
+		}
+		if panicked {
+			panic(panicVal)
 		}
 		return
 	}
@@ -34,7 +66,7 @@ func For(n, workers int, fn func(i int)) {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				fn(i)
+				call(i)
 			}
 		}()
 	}
@@ -43,6 +75,9 @@ func For(n, workers int, fn func(i int)) {
 	}
 	close(next)
 	wg.Wait()
+	if panicked {
+		panic(panicVal)
+	}
 }
 
 // Map applies fn to every item concurrently and returns the results in
@@ -53,4 +88,22 @@ func Map[T, R any](items []T, workers int, fn func(T) R) []R {
 		out[i] = fn(items[i])
 	})
 	return out
+}
+
+// MapErr applies fn to every item concurrently. All calls run to
+// completion; the returned error is the first failure in input order
+// (not completion order), so retries and error reports are
+// reproducible.
+func MapErr[T, R any](items []T, workers int, fn func(T) (R, error)) ([]R, error) {
+	out := make([]R, len(items))
+	errs := make([]error, len(items))
+	For(len(items), workers, func(i int) {
+		out[i], errs[i] = fn(items[i])
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
 }

@@ -1,6 +1,7 @@
 package par
 
 import (
+	"fmt"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
@@ -35,6 +36,80 @@ func TestMapPreservesOrder(t *testing.T) {
 	for i, v := range out {
 		if v != in[i]*in[i] {
 			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestForPropagatesPanic(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		got := func() (r any) {
+			defer func() { r = recover() }()
+			For(20, workers, func(i int) {
+				if i >= 10 {
+					panic(i)
+				}
+			})
+			return nil
+		}()
+		if got == nil {
+			t.Fatalf("workers=%d: panic not propagated", workers)
+		}
+	}
+}
+
+func TestForPanicPicksSmallestIndex(t *testing.T) {
+	// Every call panics; the re-raised value must be the smallest
+	// index, like a sequential loop, regardless of worker count.
+	for _, workers := range []int{2, 8} {
+		got := func() (r any) {
+			defer func() { r = recover() }()
+			For(50, workers, func(i int) { panic(i) })
+			return nil
+		}()
+		if got != 0 {
+			t.Errorf("workers=%d: recovered %v, want 0", workers, got)
+		}
+	}
+}
+
+func TestForRunsAllDespitePanic(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var count int64
+		func() {
+			defer func() { recover() }()
+			For(30, workers, func(i int) {
+				atomic.AddInt64(&count, 1)
+				if i == 3 {
+					panic("boom")
+				}
+			})
+		}()
+		if count != 30 {
+			t.Errorf("workers=%d: ran %d of 30 calls; a panic must not strand queued work", workers, count)
+		}
+	}
+}
+
+func TestMapErrFirstErrorByInputOrder(t *testing.T) {
+	items := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	for _, workers := range []int{1, 3, 8} {
+		_, err := MapErr(items, workers, func(x int) (int, error) {
+			if x%2 == 1 {
+				return 0, fmt.Errorf("odd %d", x)
+			}
+			return x * 10, nil
+		})
+		if err == nil || err.Error() != "odd 1" {
+			t.Errorf("workers=%d: err = %v, want odd 1 (first in input order)", workers, err)
+		}
+	}
+	out, err := MapErr(items, 4, func(x int) (int, error) { return x + 1, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != items[i]+1 {
+			t.Errorf("out[%d] = %d", i, v)
 		}
 	}
 }

@@ -216,24 +216,15 @@ func Speed(f Framework, net *nnet.Net, d hw.DeviceSpec) (float64, error) {
 // running frameworks in parallel. Entry [i][j] is frameworks[i] at
 // batches[j]; 0 marks out-of-memory.
 func BatchSweep(frameworks []Framework, build nnet.BuilderFunc, d hw.DeviceSpec, batches []int) ([][]float64, error) {
-	out := make([][]float64, len(frameworks))
-	errs := make([]error, len(frameworks))
-	par.For(len(frameworks), 0, func(i int) {
+	return par.MapErr(frameworks, 0, func(f Framework) ([]float64, error) {
 		row := make([]float64, len(batches))
 		for j, b := range batches {
-			s, err := Speed(frameworks[i], build(b), d)
+			s, err := Speed(f, build(b), d)
 			if err != nil {
-				errs[i] = err
-				return
+				return nil, err
 			}
 			row[j] = s
 		}
-		out[i] = row
+		return row, nil
 	})
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return out, nil
 }

@@ -5,6 +5,8 @@ import (
 
 	"repro/internal/hw"
 	"repro/internal/nnet"
+	"repro/internal/sched"
+	"repro/internal/workload"
 )
 
 func TestByName(t *testing.T) {
@@ -146,5 +148,31 @@ func TestBatchSweepShape(t *testing.T) {
 				t.Errorf("rows[%d][%d] = %v, want > 0", i, j, s)
 			}
 		}
+	}
+}
+
+func TestCompareSchedulers(t *testing.T) {
+	cluster := sched.Cluster{Device: hw.TeslaK40c, Devices: 2}
+	jobs := sched.JobsFromTrace(workload.DefaultTrace())
+	results, err := CompareSchedulers(cluster, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	policies := sched.Policies()
+	if len(results) != len(policies) {
+		t.Fatalf("%d results for %d policies", len(results), len(policies))
+	}
+	byName := map[string]*sched.Result{}
+	for i, r := range results {
+		if r.Policy != policies[i].Name {
+			t.Errorf("results[%d] is %q, want %q (input order)", i, r.Policy, policies[i].Name)
+		}
+		byName[r.Policy] = r
+	}
+	// The multi-tenant headline: memory-aware packing beats FIFO on
+	// cluster utilization even when both run in parallel goroutines.
+	if byName["packing"].Utilization <= byName["fifo"].Utilization {
+		t.Errorf("packing utilization %.4f not above fifo %.4f",
+			byName["packing"].Utilization, byName["fifo"].Utilization)
 	}
 }

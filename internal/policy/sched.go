@@ -1,0 +1,22 @@
+package policy
+
+import (
+	"repro/internal/par"
+	"repro/internal/sched"
+)
+
+// CompareSchedulers replays the same job stream on the same cluster
+// under every built-in scheduler policy (FIFO, priority, memory-aware
+// packing) — the multi-tenant counterpart of the single-job framework
+// comparisons above. Policies run in parallel; dry-run estimates are
+// memoized inside internal/sched, so the trace's distinct job shapes
+// are simulated once. Results land in sched.Policies() order.
+func CompareSchedulers(c sched.Cluster, jobs []sched.Job) ([]*sched.Result, error) {
+	return par.MapErr(sched.Policies(), 0, func(p sched.Policy) (*sched.Result, error) {
+		s, err := sched.NewScheduler(c, p)
+		if err != nil {
+			return nil, err
+		}
+		return s.Run(jobs)
+	})
+}

@@ -1,0 +1,72 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/memmgr"
+	"repro/internal/nnet"
+)
+
+// DryRun predicts a job's peak pool footprint and iteration time by
+// running one iteration of the named network under the named memory
+// manager on an otherwise-idle device. The run is deterministic, so
+// the prediction is exact and is memoized per
+// (network, batch, manager, device): a thousand-job trace with a
+// handful of distinct job shapes pays for a handful of dry runs.
+func DryRun(network string, batch int, manager string, d hw.DeviceSpec) (memmgr.Estimate, error) {
+	key := estKey{network: network, batch: batch, manager: manager, device: d}
+	estMu.Lock()
+	if v, ok := estCache[key]; ok {
+		estMu.Unlock()
+		return v.est, v.err
+	}
+	estMu.Unlock()
+
+	est, err := dryRun(network, batch, manager, d)
+	estMu.Lock()
+	estCache[key] = estVal{est: est, err: err}
+	estMu.Unlock()
+	return est, err
+}
+
+func dryRun(network string, batch int, manager string, d hw.DeviceSpec) (memmgr.Estimate, error) {
+	b := nnet.ByName(network)
+	if b == nil {
+		return memmgr.Estimate{}, fmt.Errorf("sched: unknown network %q", network)
+	}
+	if batch <= 0 {
+		return memmgr.Estimate{}, fmt.Errorf("sched: batch must be positive, got %d", batch)
+	}
+	r, err := core.Run(b(batch), core.Config{Manager: manager, Device: d})
+	if err != nil {
+		return memmgr.Estimate{}, err
+	}
+	return memmgr.EstimateOf(r), nil
+}
+
+// estKey embeds the whole DeviceSpec (a comparable struct of
+// scalars): every spec field feeds the cost model, so two devices
+// sharing a name must not share estimates.
+type estKey struct {
+	network string
+	batch   int
+	manager string
+	device  hw.DeviceSpec
+}
+
+type estVal struct {
+	est memmgr.Estimate
+	err error
+}
+
+var (
+	estMu    sync.Mutex
+	estCache = map[estKey]estVal{}
+)
+
+// errOOM reports whether a dry run failed for capacity reasons.
+func errOOM(err error) bool { return errors.Is(err, core.ErrOutOfMemory) }

@@ -1,0 +1,202 @@
+package sched
+
+import (
+	"sort"
+
+	"repro/internal/memmgr"
+	"repro/internal/sim"
+)
+
+// Queued is the scheduler-visible view of a pending job, handed to a
+// policy's queue order.
+type Queued struct {
+	Job
+	// Index is the job's position in the input trace — the
+	// deterministic tie-breaker of last resort.
+	Index int
+	// Estimate is the admission prediction.
+	Estimate memmgr.Estimate
+	// Preemptions counts evictions suffered so far.
+	Preemptions int
+}
+
+// Policy is a declarative scheduling policy: how the pending queue is
+// ordered, whether jobs behind a blocked head may be admitted
+// (backfill), how a device is chosen among those with room, and
+// whether a blocked head may evict lower-priority residents.
+type Policy struct {
+	Name string
+	// Less orders the pending queue (ties fall back to trace order).
+	Less func(a, b Queued) bool
+	// Backfill admits jobs past a blocked queue head.
+	Backfill bool
+	// BestFit places on the device with the least leftover memory;
+	// otherwise the first device with room wins.
+	BestFit bool
+	// Preemptive lets a blocked head evict strictly lower-priority
+	// residents at their next iteration boundary.
+	Preemptive bool
+}
+
+func byArrival(a, b Queued) bool { return a.Arrival < b.Arrival }
+
+func byPriority(a, b Queued) bool {
+	if a.Priority != b.Priority {
+		return a.Priority > b.Priority
+	}
+	return a.Arrival < b.Arrival
+}
+
+// The built-in policies compared in the evaluation.
+var (
+	// FIFO admits strictly in arrival order onto the first device
+	// with room: a blocked head blocks everything behind it.
+	FIFO = Policy{Name: "fifo", Less: byArrival}
+
+	// Priority admits in priority order and preempts: a blocked
+	// high-priority head evicts the lowest-priority residents (at
+	// their iteration boundary) until it fits.
+	Priority = Policy{Name: "priority", Less: byPriority, Preemptive: true}
+
+	// Packing is memory-aware: arrival order, but any pending job
+	// that fits is admitted (backfill past a blocked head) onto the
+	// device where it packs tightest.
+	Packing = Policy{Name: "packing", Less: byArrival, Backfill: true, BestFit: true}
+)
+
+// Policies lists the built-in policies in comparison order.
+func Policies() []Policy { return []Policy{FIFO, Priority, Packing} }
+
+// PolicyByName resolves a built-in policy.
+func PolicyByName(name string) (Policy, bool) {
+	for _, p := range Policies() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Policy{}, false
+}
+
+func (p Policy) queued(js *jobState) Queued {
+	return Queued{Job: js.Job, Index: js.seq, Estimate: js.est, Preemptions: js.preempts}
+}
+
+// less wraps the policy order with the trace-order tie-break so every
+// sort is total and deterministic.
+func (p Policy) less(a, b *jobState) bool {
+	qa, qb := p.queued(a), p.queued(b)
+	if p.Less(qa, qb) {
+		return true
+	}
+	if p.Less(qb, qa) {
+		return false
+	}
+	return a.seq < b.seq
+}
+
+// pickDevice returns the device to admit the job to, or -1.
+func (p Policy) pickDevice(js *jobState, devs []*device, cap int64) int {
+	need := js.est.PeakBytes
+	best, bestLeft := -1, int64(0)
+	for di, d := range devs {
+		free := cap - d.used
+		if free < need {
+			continue
+		}
+		if !p.BestFit {
+			return di
+		}
+		if left := free - need; best == -1 || left < bestLeft {
+			best, bestLeft = di, left
+		}
+	}
+	return best
+}
+
+// schedule is the admission pass: order the queue, admit what fits
+// (honoring backfill), and let a preemptive policy evict for a
+// blocked head. Invoked at every arrival and iteration boundary.
+func (p Policy) schedule(pending *[]*jobState, devs []*device, cap int64, now sim.Time,
+	admit func(*jobState, int, sim.Time), vacate func(*jobState, sim.Time)) {
+	for {
+		q := *pending
+		sort.SliceStable(q, func(i, j int) bool { return p.less(q[i], q[j]) })
+		i := 0
+		for i < len(q) {
+			js := q[i]
+			di := p.pickDevice(js, devs, cap)
+			if di >= 0 {
+				q = append(q[:i], q[i+1:]...)
+				admit(js, di, now)
+				continue
+			}
+			if !p.Backfill {
+				break
+			}
+			i++
+		}
+		*pending = q
+		if !p.Preemptive || len(q) == 0 {
+			return
+		}
+		if !p.preempt(q[0], pending, devs, cap, now, vacate) {
+			return
+		}
+	}
+}
+
+// preempt tries to make room for the blocked head by evicting
+// strictly lower-priority residents: on the first device where the
+// head would fit after evictions, victims are chosen lowest priority
+// first (latest arrival first within a priority). Running victims
+// vacate at their iteration boundary; idle ones immediately. It
+// reports whether any reservation was released right now (in which
+// case the caller re-runs the admission pass).
+func (p Policy) preempt(head *jobState, pending *[]*jobState, devs []*device, cap int64,
+	now sim.Time, vacate func(*jobState, sim.Time)) bool {
+	need := head.est.PeakBytes
+	for _, d := range devs {
+		var cands []*jobState
+		for _, r := range d.resident {
+			if r.Priority < head.Priority {
+				cands = append(cands, r)
+			}
+		}
+		sort.SliceStable(cands, func(i, j int) bool {
+			if cands[i].Priority != cands[j].Priority {
+				return cands[i].Priority < cands[j].Priority
+			}
+			return cands[i].seq > cands[j].seq
+		})
+		free := cap - d.used
+		total := free
+		for _, v := range cands {
+			total += v.est.PeakBytes
+		}
+		if total < need {
+			continue
+		}
+		freedNow := false
+		for _, v := range cands {
+			if free >= need {
+				break
+			}
+			free += v.est.PeakBytes
+			if v.marked {
+				continue // already vacating
+			}
+			if v.running {
+				v.marked = true
+				continue
+			}
+			// Idle victim: vacate and re-queue immediately.
+			v.preempts++
+			vacate(v, now)
+			v.device = -1
+			*pending = append(*pending, v)
+			freedNow = true
+		}
+		return freedNow
+	}
+	return false
+}

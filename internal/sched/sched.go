@@ -1,0 +1,438 @@
+// Package sched is a deterministic multi-tenant job scheduler over a
+// simulated GPU cluster. SuperNeurons manages memory for one training
+// job on one device; sched opens the multi-workload scenario class on
+// top of it: a stream of training-job requests (network, batch,
+// memory manager, priority, arrival time) is admitted onto N devices
+// using the peak-memory and iteration-time estimates a single
+// deterministic dry run of the memmgr runtime produces
+// (internal/memmgr.Estimate).
+//
+// The model:
+//
+//   - Admission control. A job is admitted to a device only when its
+//     predicted pool peak fits the device's remaining capacity; a job
+//     whose dry run cannot fit an idle device at all is rejected up
+//     front. Because every manager's Result is bit-reproducible, the
+//     prediction is exact — an admitted job can never OOM its device.
+//   - Capacity sharing. Admitted jobs reserve their peak for their
+//     whole residency; the sum of reservations never exceeds the
+//     device capacity (asserted after every admission).
+//   - Compute interleaving. Each device owns one serial sim.Engine;
+//     resident jobs time-share it round-robin, one training iteration
+//     at a time, so their virtual-time schedules interleave exactly
+//     like streams multiplexed on one GPU.
+//   - Preemption. Preemptive policies may evict strictly
+//     lower-priority residents at an iteration boundary; the victim
+//     keeps its completed iterations, releases its reservation, and
+//     re-enters the pending queue.
+//
+// The whole simulation is a discrete-event loop over sim.Agenda, so
+// two runs of the same trace produce byte-identical results.
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/hw"
+	"repro/internal/memmgr"
+	"repro/internal/sim"
+)
+
+// Job is one training-job request in the workload stream.
+type Job struct {
+	// ID names the job in reports; it must be unique within a trace.
+	ID string
+	// Network and Batch select the model (see superneurons.Networks).
+	Network string
+	Batch   int
+	// Manager names the internal/memmgr policy the job trains under
+	// ("superneurons", "vdnn", "naive", ...; empty runs the
+	// flag-driven default, the naive baseline).
+	Manager string
+	// Priority orders jobs under the priority policy; higher is more
+	// important.
+	Priority int
+	// Arrival is when the request enters the cluster.
+	Arrival sim.Time
+	// Iterations is the job's training length (defaults to 1).
+	Iterations int
+}
+
+// Cluster describes a homogeneous pool of simulated devices.
+type Cluster struct {
+	// Device is the per-GPU profile; capacity per device is its
+	// usable bytes.
+	Device hw.DeviceSpec
+	// Devices is the pool size.
+	Devices int
+}
+
+// Capacity returns the per-device memory capacity.
+func (c Cluster) Capacity() int64 { return c.Device.UsableBytes }
+
+// JobResult is the per-job outcome of one scheduled trace.
+type JobResult struct {
+	Job
+	// Estimate is the dry-run prediction used for admission.
+	Estimate memmgr.Estimate
+	// Rejected is set when the job cannot fit an idle device at all;
+	// Reason says why. Rejected jobs have no timing fields.
+	Rejected bool
+	Reason   string
+
+	// Device is where the job last ran.
+	Device int
+	// Start is the first admission; Finish the completion of the last
+	// iteration.
+	Start  sim.Time
+	Finish sim.Time
+	// Wait is Start-Arrival (queueing delay); JCT is Finish-Arrival.
+	Wait sim.Duration
+	JCT  sim.Duration
+	// Preemptions counts how often the job was evicted and re-queued.
+	Preemptions int
+}
+
+// DeviceStat aggregates one device over the schedule.
+type DeviceStat struct {
+	// Busy is the compute engine's busy time; BusyFrac is Busy over
+	// the makespan.
+	Busy     sim.Duration
+	BusyFrac float64
+	// PeakReserved is the high-water mark of memory reservations.
+	PeakReserved int64
+	// MemUtil is the time-weighted fraction of capacity reserved.
+	MemUtil float64
+	// Iterations counts training iterations executed on the device.
+	Iterations int
+}
+
+// Result is the outcome of scheduling one trace on a cluster.
+type Result struct {
+	Policy  string
+	Cluster Cluster
+
+	// Jobs holds every job in input order (including rejected ones).
+	Jobs []JobResult
+	// Makespan is the completion time of the last job.
+	Makespan sim.Duration
+	// Devices holds per-device statistics.
+	Devices []DeviceStat
+	// Utilization is the cluster memory utilization: the
+	// time-weighted fraction of total cluster capacity reserved by
+	// admitted jobs over the makespan — the bin-packing objective a
+	// memory-aware policy maximizes.
+	Utilization float64
+	// ComputeUtilization is the matching compute-busy fraction.
+	ComputeUtilization float64
+}
+
+// Admitted returns the scheduled (non-rejected) jobs.
+func (r *Result) Admitted() []JobResult {
+	out := make([]JobResult, 0, len(r.Jobs))
+	for _, j := range r.Jobs {
+		if !j.Rejected {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// MeanJCT returns the mean job completion time over admitted jobs.
+func (r *Result) MeanJCT() sim.Duration {
+	adm := r.Admitted()
+	if len(adm) == 0 {
+		return 0
+	}
+	var sum sim.Duration
+	for _, j := range adm {
+		sum += j.JCT
+	}
+	return sum / sim.Duration(len(adm))
+}
+
+// MeanWait returns the mean queueing delay over admitted jobs.
+func (r *Result) MeanWait() sim.Duration {
+	adm := r.Admitted()
+	if len(adm) == 0 {
+		return 0
+	}
+	var sum sim.Duration
+	for _, j := range adm {
+		sum += j.Wait
+	}
+	return sum / sim.Duration(len(adm))
+}
+
+// jobState is the scheduler's mutable view of one job.
+type jobState struct {
+	Job
+	seq       int // input order, the deterministic tie-breaker
+	est       memmgr.Estimate
+	remaining int
+	device    int
+	started   bool
+	start     sim.Time
+	finish    sim.Time
+	preempts  int
+	// marked is set when a preemptive policy has chosen this job as a
+	// victim; it vacates at its next iteration boundary.
+	marked bool
+	// running is set while an iteration is in flight on the engine.
+	running bool
+}
+
+// device is the scheduler's mutable view of one GPU.
+type device struct {
+	engine   *sim.Engine
+	used     int64
+	peak     int64
+	resident []*jobState
+	rr       int // round-robin cursor into resident
+	inflight bool
+	iters    int
+
+	// memIntegral accumulates used×dt for the memory-utilization
+	// metric; lastT is the time of its last update.
+	memIntegral float64
+	lastT       sim.Time
+}
+
+func (d *device) setUsed(now sim.Time, delta int64) {
+	d.memIntegral += float64(d.used) * float64(now-d.lastT)
+	d.lastT = now
+	d.used += delta
+	if d.used > d.peak {
+		d.peak = d.used
+	}
+}
+
+// Scheduler binds a cluster to a policy.
+type Scheduler struct {
+	cluster Cluster
+	policy  Policy
+}
+
+// NewScheduler returns a scheduler placing jobs on the cluster under
+// the policy.
+func NewScheduler(c Cluster, p Policy) (*Scheduler, error) {
+	if c.Devices <= 0 {
+		return nil, fmt.Errorf("sched: cluster needs at least one device, got %d", c.Devices)
+	}
+	if c.Device.UsableBytes <= 0 {
+		return nil, fmt.Errorf("sched: device %q has no usable memory", c.Device.Name)
+	}
+	if p.Less == nil {
+		return nil, fmt.Errorf("sched: policy %q has no queue order", p.Name)
+	}
+	return &Scheduler{cluster: c, policy: p}, nil
+}
+
+// Run replays the job stream through the cluster and returns the
+// schedule. The input slice is not mutated; jobs are identified by
+// input order for every deterministic tie-break.
+func (s *Scheduler) Run(jobs []Job) (*Result, error) {
+	cap := s.cluster.Capacity()
+
+	// Dry-run every job once for its admission estimate; jobs that
+	// cannot fit an idle device are rejected up front.
+	states := make([]*jobState, len(jobs))
+	rejected := make(map[int]string)
+	for i, j := range jobs {
+		if j.Iterations <= 0 {
+			j.Iterations = 1
+		}
+		if j.ID == "" {
+			j.ID = fmt.Sprintf("job%d", i)
+		}
+		est, err := DryRun(j.Network, j.Batch, j.Manager, s.cluster.Device)
+		if err != nil {
+			if isOOM(err) {
+				rejected[i] = "exceeds device memory even alone"
+				states[i] = &jobState{Job: j, seq: i}
+				continue
+			}
+			return nil, fmt.Errorf("sched: job %s: %w", j.ID, err)
+		}
+		if est.PeakBytes > cap {
+			rejected[i] = fmt.Sprintf("predicted peak %d exceeds device capacity %d", est.PeakBytes, cap)
+		}
+		states[i] = &jobState{Job: j, seq: i, est: est, remaining: j.Iterations, device: -1}
+	}
+
+	tl := sim.NewTimeline()
+	devs := make([]*device, s.cluster.Devices)
+	for i := range devs {
+		devs[i] = &device{engine: tl.NewEngine(fmt.Sprintf("gpu%d", i))}
+	}
+
+	var (
+		agenda  sim.Agenda
+		pending []*jobState
+		runErr  error
+	)
+
+	fail := func(err error) {
+		if runErr == nil {
+			runErr = err
+		}
+	}
+
+	// admit reserves the job's peak on the device and dispatches the
+	// engine if idle.
+	var dispatch func(d *device, now sim.Time)
+	admit := func(js *jobState, di int, now sim.Time) {
+		d := devs[di]
+		d.setUsed(now, js.est.PeakBytes)
+		if d.used > cap {
+			fail(fmt.Errorf("sched: admission overflow on gpu%d: %d > capacity %d (job %s)", di, d.used, cap, js.ID))
+		}
+		d.resident = append(d.resident, js)
+		js.device = di
+		if !js.started {
+			js.started = true
+			js.start = now
+		}
+		dispatch(d, now)
+	}
+
+	// vacate releases the job's reservation and drops it from the
+	// device's resident set.
+	vacate := func(js *jobState, now sim.Time) {
+		d := devs[js.device]
+		for i, r := range d.resident {
+			if r == js {
+				d.resident = append(d.resident[:i], d.resident[i+1:]...)
+				if d.rr > i {
+					d.rr--
+				}
+				break
+			}
+		}
+		if len(d.resident) > 0 {
+			d.rr %= len(d.resident)
+		} else {
+			d.rr = 0
+		}
+		d.setUsed(now, -js.est.PeakBytes)
+	}
+
+	// dispatch submits the next resident iteration round-robin when
+	// the engine is idle.
+	dispatch = func(d *device, now sim.Time) {
+		if d.inflight || len(d.resident) == 0 {
+			return
+		}
+		n := len(d.resident)
+		for k := 0; k < n; k++ {
+			js := d.resident[(d.rr+k)%n]
+			if js.marked || js.remaining <= 0 {
+				continue
+			}
+			d.rr = (d.rr + k + 1) % n
+			d.inflight = true
+			js.running = true
+			ev := d.engine.Submit(now, js.est.IterTime)
+			agenda.Post(ev.At(), func(t sim.Time) { iterDone(&pending, js, d, t, admit, vacate, dispatch, s.policy, devs, cap) })
+			return
+		}
+	}
+
+	schedule := func(now sim.Time) {
+		s.policy.schedule(&pending, devs, cap, now, admit, vacate)
+	}
+
+	// Arrivals, in input order for same-instant determinism.
+	for i, js := range states {
+		if _, ok := rejected[i]; ok {
+			js.remaining = 0
+			continue
+		}
+		j := js
+		agenda.Post(j.Arrival, func(t sim.Time) {
+			pending = append(pending, j)
+			schedule(t)
+		})
+	}
+
+	end := agenda.Drain()
+	if runErr != nil {
+		return nil, runErr
+	}
+	for _, js := range states {
+		if _, rej := rejected[js.seq]; rej {
+			continue
+		}
+		if js.remaining > 0 {
+			return nil, fmt.Errorf("sched: job %s stranded with %d iterations left (scheduler deadlock)", js.ID, js.remaining)
+		}
+	}
+
+	res := &Result{Policy: s.policy.Name, Cluster: s.cluster}
+	for i, js := range states {
+		jr := JobResult{Job: js.Job, Estimate: js.est}
+		if reason, rej := rejected[i]; rej {
+			jr.Rejected = true
+			jr.Reason = reason
+			jr.Device = -1
+		} else {
+			jr.Device = js.device
+			jr.Start = js.start
+			jr.Finish = js.finish
+			jr.Wait = sim.Duration(js.start - js.Arrival)
+			jr.JCT = sim.Duration(js.finish - js.Arrival)
+			jr.Preemptions = js.preempts
+		}
+		res.Jobs = append(res.Jobs, jr)
+	}
+	res.Makespan = sim.Duration(end)
+	res.Devices = make([]DeviceStat, len(devs))
+	var busySum sim.Duration
+	var memSum float64
+	for i, d := range devs {
+		d.setUsed(end, 0) // close the integral
+		st := DeviceStat{Busy: d.engine.BusyTime(), PeakReserved: d.peak, Iterations: d.iters}
+		if end > 0 {
+			st.BusyFrac = float64(st.Busy) / float64(end)
+			st.MemUtil = d.memIntegral / (float64(cap) * float64(end))
+		}
+		res.Devices[i] = st
+		busySum += st.Busy
+		memSum += d.memIntegral
+	}
+	if end > 0 {
+		res.Utilization = memSum / (float64(cap) * float64(len(devs)) * float64(end))
+		res.ComputeUtilization = float64(busySum) / (float64(len(devs)) * float64(end))
+	}
+	return res, nil
+}
+
+// iterDone handles one iteration-completion event.
+func iterDone(pending *[]*jobState, js *jobState, d *device, now sim.Time,
+	admit func(*jobState, int, sim.Time), vacate func(*jobState, sim.Time),
+	dispatch func(*device, sim.Time), p Policy, devs []*device, cap int64) {
+	d.inflight = false
+	d.iters++
+	js.running = false
+	js.remaining--
+	switch {
+	case js.remaining == 0:
+		js.finish = now
+		vacate(js, now)
+	case js.marked:
+		// Preempted at the iteration boundary: keep the completed
+		// iterations, release the reservation, re-queue.
+		js.marked = false
+		js.preempts++
+		vacate(js, now)
+		js.device = -1
+		*pending = append(*pending, js)
+	}
+	p.schedule(pending, devs, cap, now, admit, vacate)
+	dispatch(d, now)
+}
+
+// isOOM reports whether the dry run failed for capacity reasons.
+func isOOM(err error) bool {
+	return err != nil && errOOM(err)
+}

@@ -1,0 +1,205 @@
+package sched
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/workload"
+)
+
+func testCluster() Cluster { return Cluster{Device: hw.TeslaK40c, Devices: 2} }
+
+func runTrace(t *testing.T, p Policy) *Result {
+	t.Helper()
+	s, err := NewScheduler(testCluster(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(JobsFromTrace(workload.DefaultTrace()))
+	if err != nil {
+		t.Fatalf("%s: %v", p.Name, err)
+	}
+	return res
+}
+
+// Two consecutive replays of the bundled trace must be identical in
+// every field, for every policy — the determinism half of the
+// acceptance criteria.
+func TestDefaultTraceDeterministic(t *testing.T) {
+	for _, p := range Policies() {
+		a := runTrace(t, p)
+		b := runTrace(t, p)
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: two runs of the same trace differ:\n%#v\n%#v", p.Name, a, b)
+		}
+	}
+}
+
+// No admitted job may ever exceed its device's capacity: the sum of
+// reservations (tracked as the per-device high-water mark) stays
+// within the device, and jobs that cannot fit an idle device are
+// rejected rather than scheduled.
+func TestCapacityInvariant(t *testing.T) {
+	cap := testCluster().Capacity()
+	for _, p := range Policies() {
+		res := runTrace(t, p)
+		for di, d := range res.Devices {
+			if d.PeakReserved > cap {
+				t.Errorf("%s: gpu%d peak reservation %d exceeds capacity %d", p.Name, di, d.PeakReserved, cap)
+			}
+			if d.PeakReserved <= 0 {
+				t.Errorf("%s: gpu%d never used", p.Name, di)
+			}
+		}
+		for _, j := range res.Jobs {
+			if j.Rejected {
+				continue
+			}
+			if j.Estimate.PeakBytes > cap {
+				t.Errorf("%s: job %s admitted with peak %d > capacity %d", p.Name, j.ID, j.Estimate.PeakBytes, cap)
+			}
+			if j.Finish < j.Start || j.Start < j.Arrival {
+				t.Errorf("%s: job %s has inconsistent times: arrival %d start %d finish %d",
+					p.Name, j.ID, j.Arrival, j.Start, j.Finish)
+			}
+		}
+	}
+}
+
+// The trace's too-big job must be rejected by admission control (its
+// dry run cannot fit even an idle device), never scheduled.
+func TestAdmissionControlRejects(t *testing.T) {
+	for _, p := range Policies() {
+		res := runTrace(t, p)
+		found := false
+		for _, j := range res.Jobs {
+			if j.ID != "too-big" {
+				if j.Rejected {
+					t.Errorf("%s: job %s unexpectedly rejected: %s", p.Name, j.ID, j.Reason)
+				}
+				continue
+			}
+			found = true
+			if !j.Rejected {
+				t.Errorf("%s: too-big was admitted (peak %d)", p.Name, j.Estimate.PeakBytes)
+			}
+		}
+		if !found {
+			t.Fatalf("%s: too-big missing from results", p.Name)
+		}
+	}
+}
+
+// Memory-aware packing must achieve strictly higher cluster
+// utilization than FIFO on the bundled trace: backfilling keeps the
+// gaps beside the big residents provisioned while FIFO's blocked head
+// leaves them idle.
+func TestPackingBeatsFIFOUtilization(t *testing.T) {
+	fifo := runTrace(t, FIFO)
+	packing := runTrace(t, Packing)
+	if packing.Utilization <= fifo.Utilization {
+		t.Errorf("packing utilization %.4f not strictly above fifo %.4f",
+			packing.Utilization, fifo.Utilization)
+	}
+	if packing.MeanWait() >= fifo.MeanWait() {
+		t.Errorf("packing mean wait %v not below fifo %v", packing.MeanWait(), fifo.MeanWait())
+	}
+}
+
+// The priority policy must serve the urgent job sooner than FIFO by
+// preempting lower-priority residents at an iteration boundary.
+func TestPriorityPreemption(t *testing.T) {
+	fifo := runTrace(t, FIFO)
+	prio := runTrace(t, Priority)
+	jct := func(r *Result, id string) (jctv, wait int64) {
+		for _, j := range r.Jobs {
+			if j.ID == id {
+				return int64(j.JCT), int64(j.Wait)
+			}
+		}
+		t.Fatalf("%s: job %s missing", r.Policy, id)
+		return 0, 0
+	}
+	fj, fw := jct(fifo, "urgent-alex")
+	pj, pw := jct(prio, "urgent-alex")
+	if pj >= fj || pw >= fw {
+		t.Errorf("priority did not speed up urgent-alex: jct %d vs fifo %d, wait %d vs %d", pj, fj, pw, fw)
+	}
+	preempted := 0
+	for _, j := range prio.Jobs {
+		preempted += j.Preemptions
+	}
+	if preempted == 0 {
+		t.Error("priority policy preempted nothing on the bundled trace")
+	}
+	for _, j := range fifo.Jobs {
+		if j.Preemptions != 0 {
+			t.Errorf("fifo preempted %s", j.ID)
+		}
+	}
+}
+
+// All admitted work completes: per-device iteration counts add up to
+// the trace total, and the makespan covers every finish.
+func TestWorkConservation(t *testing.T) {
+	want := 0
+	for _, tj := range workload.DefaultTrace() {
+		if tj.ID == "too-big" {
+			continue
+		}
+		want += tj.Iterations
+	}
+	for _, p := range Policies() {
+		res := runTrace(t, p)
+		got := 0
+		for _, d := range res.Devices {
+			got += d.Iterations
+		}
+		// Preemption re-queues at iteration boundaries without losing
+		// completed work, so the executed-iteration total is exact.
+		if got != want {
+			t.Errorf("%s: executed %d iterations, trace specifies %d", p.Name, got, want)
+		}
+		for _, j := range res.Jobs {
+			if !j.Rejected && int64(j.Finish) > int64(res.Makespan) {
+				t.Errorf("%s: job %s finishes after makespan", p.Name, j.ID)
+			}
+		}
+	}
+}
+
+func TestSchedulerValidation(t *testing.T) {
+	if _, err := NewScheduler(Cluster{Device: hw.TeslaK40c, Devices: 0}, FIFO); err == nil {
+		t.Error("zero-device cluster accepted")
+	}
+	if _, err := NewScheduler(testCluster(), Policy{Name: "broken"}); err == nil {
+		t.Error("order-less policy accepted")
+	}
+	s, err := NewScheduler(testCluster(), FIFO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run([]Job{{ID: "x", Network: "NoSuchNet", Batch: 1, Iterations: 1}}); err == nil ||
+		!strings.Contains(err.Error(), "unknown network") {
+		t.Errorf("unknown network not reported: %v", err)
+	}
+}
+
+func TestDryRunCache(t *testing.T) {
+	a, err := DryRun("AlexNet", 64, "naive", hw.TeslaK40c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DryRun("AlexNet", 64, "naive", hw.TeslaK40c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("cached estimate differs: %+v vs %+v", a, b)
+	}
+	if a.PeakBytes <= 0 || a.IterTime <= 0 {
+		t.Errorf("degenerate estimate %+v", a)
+	}
+}

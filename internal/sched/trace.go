@@ -1,0 +1,24 @@
+package sched
+
+import (
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// JobsFromTrace converts workload trace entries (millisecond
+// arrivals) into scheduler jobs.
+func JobsFromTrace(ts []workload.TraceJob) []Job {
+	out := make([]Job, len(ts))
+	for i, t := range ts {
+		out[i] = Job{
+			ID:         t.ID,
+			Network:    t.Network,
+			Batch:      t.Batch,
+			Manager:    t.Manager,
+			Priority:   t.Priority,
+			Arrival:    sim.Time(t.ArrivalMS) * sim.Time(sim.Millisecond),
+			Iterations: t.Iterations,
+		}
+	}
+	return out
+}

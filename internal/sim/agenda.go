@@ -1,0 +1,72 @@
+package sim
+
+import "container/heap"
+
+// Agenda is a deterministic discrete-event queue: handlers posted at
+// virtual times run in (time, post-order) order, so two events at the
+// same instant execute in the order they were scheduled. It is the
+// event-loop counterpart to Engine's timestamp propagation — Engine
+// resolves who-waits-on-whom inside one workload, Agenda orders the
+// decision points (arrivals, completions) of many workloads sharing a
+// cluster.
+type Agenda struct {
+	h   agendaHeap
+	seq int64
+	now Time
+}
+
+type agendaItem struct {
+	at  Time
+	seq int64
+	run func(now Time)
+}
+
+type agendaHeap []agendaItem
+
+func (h agendaHeap) Len() int { return len(h) }
+func (h agendaHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h agendaHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *agendaHeap) Push(x any)   { *h = append(*h, x.(agendaItem)) }
+func (h *agendaHeap) Pop() any     { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
+
+// Post schedules run to execute at virtual time at. Posting into the
+// past (before the last executed event) panics: virtual time only
+// moves forward.
+func (a *Agenda) Post(at Time, run func(now Time)) {
+	if at < a.now {
+		panic("sim: Agenda.Post into the past")
+	}
+	a.seq++
+	heap.Push(&a.h, agendaItem{at: at, seq: a.seq, run: run})
+}
+
+// Len returns the number of pending events.
+func (a *Agenda) Len() int { return len(a.h) }
+
+// Now returns the time of the last executed event.
+func (a *Agenda) Now() Time { return a.now }
+
+// RunNext executes the earliest pending event and reports whether one
+// ran. Handlers may Post further events.
+func (a *Agenda) RunNext() bool {
+	if len(a.h) == 0 {
+		return false
+	}
+	it := heap.Pop(&a.h).(agendaItem)
+	a.now = it.at
+	it.run(it.at)
+	return true
+}
+
+// Drain runs events until the agenda is empty and returns the time of
+// the last one.
+func (a *Agenda) Drain() Time {
+	for a.RunNext() {
+	}
+	return a.now
+}

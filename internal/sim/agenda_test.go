@@ -1,0 +1,49 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestAgendaOrdersByTimeThenPostOrder(t *testing.T) {
+	var a Agenda
+	var got []string
+	rec := func(s string) func(Time) { return func(Time) { got = append(got, s) } }
+	a.Post(30, rec("c"))
+	a.Post(10, rec("a1"))
+	a.Post(10, rec("a2")) // same instant: post order wins
+	a.Post(20, rec("b"))
+	end := a.Drain()
+	if want := []string{"a1", "a2", "b", "c"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("order %v, want %v", got, want)
+	}
+	if end != 30 {
+		t.Errorf("drain ended at %d, want 30", end)
+	}
+}
+
+func TestAgendaHandlersMayPost(t *testing.T) {
+	var a Agenda
+	var got []Time
+	a.Post(5, func(now Time) {
+		got = append(got, now)
+		a.Post(now+5, func(now Time) { got = append(got, now) })
+	})
+	a.Drain()
+	if want := []Time{5, 10}; !reflect.DeepEqual(got, want) {
+		t.Errorf("times %v, want %v", got, want)
+	}
+}
+
+func TestAgendaRejectsPastPost(t *testing.T) {
+	var a Agenda
+	a.Post(10, func(now Time) {
+		defer func() {
+			if recover() == nil {
+				t.Error("posting into the past did not panic")
+			}
+		}()
+		a.Post(now-1, func(Time) {})
+	})
+	a.Drain()
+}

@@ -1,0 +1,110 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// TraceJob is one line of a multi-tenant workload trace: a training
+// job submitted to the shared cluster. Times are in milliseconds so
+// traces stay human-editable; the scheduler converts to virtual time.
+type TraceJob struct {
+	ID         string
+	ArrivalMS  int64
+	Network    string
+	Batch      int
+	Manager    string
+	Priority   int
+	Iterations int
+}
+
+// ParseTrace reads a whitespace-separated trace: one job per line as
+//
+//	id arrival_ms network batch manager priority iterations
+//
+// Blank lines and lines starting with '#' are skipped. A manager of
+// "-" means the default (flag-driven) manager.
+func ParseTrace(r io.Reader) ([]TraceJob, error) {
+	var out []TraceJob
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		f := strings.Fields(text)
+		if len(f) != 7 {
+			return nil, fmt.Errorf("workload: trace line %d: want 7 fields (id arrival_ms network batch manager priority iterations), got %d", line, len(f))
+		}
+		var (
+			tj  TraceJob
+			err error
+		)
+		tj.ID = f[0]
+		if tj.ArrivalMS, err = strconv.ParseInt(f[1], 10, 64); err != nil || tj.ArrivalMS < 0 {
+			return nil, fmt.Errorf("workload: trace line %d: bad arrival %q", line, f[1])
+		}
+		tj.Network = f[2]
+		if tj.Batch, err = strconv.Atoi(f[3]); err != nil || tj.Batch <= 0 {
+			return nil, fmt.Errorf("workload: trace line %d: bad batch %q", line, f[3])
+		}
+		if tj.Manager = f[4]; tj.Manager == "-" {
+			tj.Manager = ""
+		}
+		if tj.Priority, err = strconv.Atoi(f[5]); err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: bad priority %q", line, f[5])
+		}
+		if tj.Iterations, err = strconv.Atoi(f[6]); err != nil || tj.Iterations <= 0 {
+			return nil, fmt.Errorf("workload: trace line %d: bad iterations %q", line, f[6])
+		}
+		out = append(out, tj)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("workload: reading trace: %w", err)
+	}
+	return out, nil
+}
+
+// FormatTrace renders jobs in the ParseTrace format, with a header
+// comment.
+func FormatTrace(jobs []TraceJob) string {
+	var b strings.Builder
+	b.WriteString("# id arrival_ms network batch manager priority iterations\n")
+	for _, j := range jobs {
+		m := j.Manager
+		if m == "" {
+			m = "-"
+		}
+		fmt.Fprintf(&b, "%s %d %s %d %s %d %d\n",
+			j.ID, j.ArrivalMS, j.Network, j.Batch, m, j.Priority, j.Iterations)
+	}
+	return b.String()
+}
+
+// DefaultTrace is the bundled multi-tenant trace the scheduler
+// evaluation replays: two big jobs fill most of both devices, a
+// high-priority job too large for the remaining gaps blocks a FIFO
+// queue head-of-line, a stream of small jobs fits the gaps a
+// memory-aware policy can backfill, and one job exceeds a whole
+// device so admission control must reject it. Footprints are the
+// dry-run pool peaks on the Tesla K40c (11.5 GiB usable): ResNet50
+// b32 naive ≈58%, VGG16 b32 caffe ≈55%, AlexNet b512 naive ≈62%, the
+// smalls 13–32%.
+func DefaultTrace() []TraceJob {
+	return []TraceJob{
+		{ID: "big-resnet", ArrivalMS: 0, Network: "ResNet50", Batch: 32, Manager: "naive", Priority: 2, Iterations: 8},
+		{ID: "big-vgg", ArrivalMS: 0, Network: "VGG16", Batch: 32, Manager: "caffe", Priority: 2, Iterations: 3},
+		{ID: "urgent-alex", ArrivalMS: 100, Network: "AlexNet", Batch: 512, Manager: "naive", Priority: 9, Iterations: 4},
+		{ID: "small-sn", ArrivalMS: 200, Network: "AlexNet", Batch: 256, Manager: "superneurons", Priority: 1, Iterations: 4},
+		{ID: "small-vdnn", ArrivalMS: 250, Network: "ResNet50", Batch: 32, Manager: "vdnn", Priority: 2, Iterations: 3},
+		{ID: "small-alex", ArrivalMS: 300, Network: "AlexNet", Batch: 128, Manager: "naive", Priority: 1, Iterations: 5},
+		{ID: "mid-sn", ArrivalMS: 350, Network: "AlexNet", Batch: 512, Manager: "superneurons", Priority: 3, Iterations: 2},
+		{ID: "too-big", ArrivalMS: 400, Network: "AlexNet", Batch: 1024, Manager: "naive", Priority: 4, Iterations: 1},
+		{ID: "late-alex", ArrivalMS: 5000, Network: "AlexNet", Batch: 64, Manager: "naive", Priority: 5, Iterations: 6},
+	}
+}

@@ -33,7 +33,9 @@ import (
 	"repro/internal/nnet"
 	"repro/internal/policy"
 	"repro/internal/recompute"
+	"repro/internal/sched"
 	"repro/internal/utp"
+	"repro/internal/workload"
 )
 
 // Core types, re-exported for API stability.
@@ -171,6 +173,71 @@ func Throughput(f Framework, network string, batch int, d Device) (float64, erro
 		return 0, fmt.Errorf("superneurons: unknown network %q", network)
 	}
 	return policy.Speed(f, b(batch), d)
+}
+
+// Multi-tenant scheduling (internal/sched): a deterministic scheduler
+// places a stream of training-job requests onto a simulated cluster,
+// using the memory managers' dry-run peak/iteration estimates for
+// admission control, bin-packing placement, queueing and preemption.
+type (
+	// Cluster describes a homogeneous pool of simulated GPUs.
+	Cluster = sched.Cluster
+	// Job is one training-job request (network, batch, manager,
+	// priority, arrival, iterations).
+	Job = sched.Job
+	// Scheduler binds a cluster to a scheduling policy.
+	Scheduler = sched.Scheduler
+	// SchedulerPolicy declares queue order, backfill, placement and
+	// preemption behavior.
+	SchedulerPolicy = sched.Policy
+	// ScheduleResult is the outcome of replaying a job stream:
+	// per-job JCT/queueing, per-device stats, cluster utilization.
+	ScheduleResult = sched.Result
+	// JobSchedule is the per-job slice of a ScheduleResult.
+	JobSchedule = sched.JobResult
+	// JobEstimate is the dry-run prediction admission control uses.
+	JobEstimate = memmgr.Estimate
+)
+
+// The built-in scheduler policies.
+var (
+	// SchedFIFO admits strictly in arrival order (head-of-line
+	// blocking included).
+	SchedFIFO = sched.FIFO
+	// SchedPriority admits by priority and preempts lower-priority
+	// residents at iteration boundaries.
+	SchedPriority = sched.Priority
+	// SchedPacking is memory-aware: backfills past a blocked head
+	// onto the device where the job packs tightest.
+	SchedPacking = sched.Packing
+)
+
+// SchedulerPolicies lists the built-in policies in comparison order.
+func SchedulerPolicies() []SchedulerPolicy { return sched.Policies() }
+
+// NewScheduler returns a scheduler placing jobs on the cluster under
+// the policy.
+func NewScheduler(c Cluster, p SchedulerPolicy) (*Scheduler, error) {
+	return sched.NewScheduler(c, p)
+}
+
+// EstimateJob predicts a job's peak pool footprint and iteration time
+// on the device by a memoized deterministic dry run — the admission
+// estimate the scheduler uses.
+func EstimateJob(network string, batch int, manager string, d Device) (JobEstimate, error) {
+	return sched.DryRun(network, batch, manager, d)
+}
+
+// DefaultClusterTrace returns the bundled multi-tenant workload trace
+// (see cmd/snsched and examples/multitenant).
+func DefaultClusterTrace() []Job {
+	return sched.JobsFromTrace(workload.DefaultTrace())
+}
+
+// CompareSchedulers replays the job stream on the cluster under every
+// built-in policy, in SchedulerPolicies() order.
+func CompareSchedulers(c Cluster, jobs []Job) ([]*ScheduleResult, error) {
+	return policy.CompareSchedulers(c, jobs)
 }
 
 // Summary renders a human-readable report of a run.

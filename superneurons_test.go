@@ -2,6 +2,7 @@ package superneurons
 
 import (
 	"errors"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -121,5 +122,60 @@ func TestPeakSteps(t *testing.T) {
 	}
 	if !strings.Contains(top[0], "MiB") {
 		t.Errorf("entry format: %q", top[0])
+	}
+}
+
+func TestClusterSchedulingAPI(t *testing.T) {
+	cluster := Cluster{Device: TeslaK40c, Devices: 2}
+	jobs := DefaultClusterTrace()
+	if len(jobs) == 0 {
+		t.Fatal("bundled trace is empty")
+	}
+
+	est, err := EstimateJob("AlexNet", 64, "naive", TeslaK40c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.PeakBytes <= 0 || est.IterTime <= 0 {
+		t.Fatalf("degenerate estimate %+v", est)
+	}
+
+	results, err := CompareSchedulers(cluster, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(SchedulerPolicies()) {
+		t.Fatalf("%d results for %d policies", len(results), len(SchedulerPolicies()))
+	}
+	var fifo, packing *ScheduleResult
+	for _, r := range results {
+		switch r.Policy {
+		case SchedFIFO.Name:
+			fifo = r
+		case SchedPacking.Name:
+			packing = r
+		}
+	}
+	if fifo == nil || packing == nil {
+		t.Fatal("fifo/packing results missing")
+	}
+	if packing.Utilization <= fifo.Utilization {
+		t.Errorf("packing utilization %.4f not above fifo %.4f", packing.Utilization, fifo.Utilization)
+	}
+
+	s, err := NewScheduler(cluster, SchedPriority)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := s.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("two scheduler runs over the same trace differ")
 	}
 }
