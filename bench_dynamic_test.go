@@ -1,0 +1,48 @@
+package superneurons
+
+import (
+	"testing"
+
+	"repro/internal/hw"
+)
+
+// BenchmarkDynamicStaticVsAdaptive trains ResNet-50 on the bundled
+// ramp50 dynamic-batch trace under a shrunken pool, comparing the
+// frozen static plan (computed once before iteration 0 and replayed
+// verbatim — it loses the ramp's bigger shapes to OOM) against the
+// online adaptive planner (which widens the offload/prefetch/
+// recompute plan at iteration boundaries from measured signals).
+func BenchmarkDynamicStaticVsAdaptive(b *testing.B) {
+	base := Config{
+		Device:           TeslaK40c,
+		HostLink:         hw.PCIePinned,
+		UseMemPool:       true,
+		Liveness:         true,
+		DynamicWorkspace: true,
+		PoolBytes:        2600 * hw.MiB,
+		BatchSchedule:    DynamicSchedules()["ramp50"],
+	}
+	for _, mode := range []struct {
+		name     string
+		adaptive bool
+	}{
+		{"static-frozen", false},
+		{"adaptive", true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			cfg := base
+			cfg.AdaptivePlan = mode.adaptive
+			var last *DynamicResult
+			for i := 0; i < b.N; i++ {
+				r, err := RunDynamic("ResNet50", cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = r
+			}
+			b.Logf("%s: %d OOM failures, %d replans, %d images in %v (%.1f img/s), stall %v",
+				mode.name, last.OOMFailures, last.Replans, last.Images,
+				last.TotalTime, last.Throughput, last.TotalStall)
+		})
+	}
+}

@@ -12,8 +12,14 @@
 //
 //	snsched                         # bundled trace, all policies, 2x K40c
 //	snsched -trace jobs.trace       # replay a custom trace file
+//	snsched -dynamic                # bundled dynamic-batch trace
 //	snsched -policy packing -devices 4 -device titanxp
 //	snsched -dump-trace             # print the bundled trace file
+//
+// Dynamic jobs declare a per-iteration batch schedule in the trace's
+// batch field ("128x2,512" runs two iterations at 128 then one at
+// 512); admission reserves the worst-case shape, so a ramping job can
+// never OOM its device mid-run.
 package main
 
 import (
@@ -33,6 +39,7 @@ import (
 
 type options struct {
 	tracePath string
+	dynamic   bool
 	devices   int
 	device    string
 	policyArg string
@@ -46,6 +53,7 @@ func main() {
 		dump bool
 	)
 	flag.StringVar(&o.tracePath, "trace", "", "trace file (default: the bundled multi-tenant trace)")
+	flag.BoolVar(&o.dynamic, "dynamic", false, "replay the bundled dynamic-batch trace instead of the static default")
 	flag.IntVar(&o.devices, "devices", 2, "number of GPUs in the cluster")
 	flag.StringVar(&o.device, "device", "k40c", "device profile: k40c or titanxp")
 	flag.StringVar(&o.policyArg, "policy", "all", "scheduler policy: fifo, priority, packing or all")
@@ -53,7 +61,11 @@ func main() {
 	flag.Parse()
 
 	if dump {
-		fmt.Print(workload.FormatTrace(workload.DefaultTrace()))
+		if o.dynamic {
+			fmt.Print(workload.FormatTrace(workload.DefaultDynamicTrace()))
+		} else {
+			fmt.Print(workload.FormatTrace(workload.DefaultTrace()))
+		}
 		return
 	}
 	if err := run(o, os.Stdout); err != nil {
@@ -63,6 +75,9 @@ func main() {
 
 func run(o options, w io.Writer) error {
 	trace := workload.DefaultTrace()
+	if o.dynamic {
+		trace = workload.DefaultDynamicTrace()
+	}
 	if o.tracePath != "" {
 		f, err := os.Open(o.tracePath)
 		if err != nil {
@@ -128,12 +143,16 @@ func render(w io.Writer, r *sched.Result) {
 		if mgr == "" {
 			mgr = "-"
 		}
+		batch := fmt.Sprint(j.Batch)
+		if len(j.BatchSchedule) > 1 {
+			batch = workload.Schedule(j.BatchSchedule).String()
+		}
 		if j.Rejected {
-			jt.Add(j.ID, j.Network, fmt.Sprint(j.Batch), mgr, fmt.Sprint(j.Priority),
+			jt.Add(j.ID, j.Network, batch, mgr, fmt.Sprint(j.Priority),
 				"-", ms(int64(j.Arrival)), "-", "rejected", "-")
 			continue
 		}
-		jt.Add(j.ID, j.Network, fmt.Sprint(j.Batch), mgr, fmt.Sprint(j.Priority),
+		jt.Add(j.ID, j.Network, batch, mgr, fmt.Sprint(j.Priority),
 			fmt.Sprint(j.Device), ms(int64(j.Arrival)), j.Wait.String(), j.JCT.String(),
 			fmt.Sprint(j.Preemptions))
 	}

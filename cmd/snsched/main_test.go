@@ -60,3 +60,44 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		t.Error("unknown policy accepted")
 	}
 }
+
+// The bundled dynamic trace replays deterministically and renders the
+// per-iteration batch schedules in the job table.
+func TestDynamicReplayDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	opts := options{dynamic: true, devices: 2, device: "k40c", policyArg: "all"}
+	if err := run(opts, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(opts, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("two dynamic replays differ:\n--- first\n%s\n--- second\n%s", a.String(), b.String())
+	}
+	for _, want := range []string{"128,256,384,512", "128,512,128", "16x2,32x2"} {
+		if !strings.Contains(a.String(), want) {
+			t.Errorf("output missing schedule %q", want)
+		}
+	}
+}
+
+// The dynamic trace round-trips through the trace-file schedule
+// syntax exactly like the bundled default.
+func TestDynamicTraceFileMatchesBundled(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "dynamic.trace")
+	if err := os.WriteFile(path, []byte(workload.FormatTrace(workload.DefaultDynamicTrace())), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var fromFile, bundled bytes.Buffer
+	if err := run(options{tracePath: path, devices: 2, device: "k40c", policyArg: "packing"}, &fromFile); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(options{dynamic: true, devices: 2, device: "k40c", policyArg: "packing"}, &bundled); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fromFile.Bytes(), bundled.Bytes()) {
+		t.Error("replaying the formatted dynamic trace from a file differs from the built-in")
+	}
+}

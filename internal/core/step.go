@@ -20,7 +20,9 @@ func (e *exec) runStep(si int) error {
 
 	// Trigger planned prefetches so the H2D copy overlaps this step's
 	// computation (§3.3.1), and harvest completed offloads.
-	e.mm.Offload.Prefetch(si)
+	if err := e.mm.Offload.Prefetch(si); err != nil {
+		return err
+	}
 	e.mm.Offload.Harvest(false)
 
 	// Recomputation replays reconstruct dropped forward dependencies.

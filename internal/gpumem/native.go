@@ -94,6 +94,14 @@ func (a *Native) Capacity() int64 { return a.capacity }
 // model does not fragment, so this is simply the free bytes.
 func (a *Native) MaxAlloc() int64 { return a.capacity - a.used }
 
+// ResetPeak restarts peak tracking from the current usage, so callers
+// can measure per-phase high-water marks.
+func (a *Native) ResetPeak() { a.peak = a.used }
+
+// Fragmentation reports 0: the native model never fragments (capacity
+// is its only limit).
+func (a *Native) Fragmentation() float64 { return 0 }
+
 // Live returns the number of live allocations.
 func (a *Native) Live() int { return len(a.allocd) }
 

@@ -319,3 +319,48 @@ func TestPoolNoOverlapProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// Property: random alloc/free sequences keep the free list
+// address-sorted and fully coalesced (CheckInvariants), keep
+// Fragmentation within [0,1] after every operation, and freeing
+// everything restores one span of full capacity with zero
+// fragmentation.
+func TestPoolFragmentationProperty(t *testing.T) {
+	f := func(seed int64, opsCount uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := newTestPool(128 * BlockSize)
+		live := make([]int64, 0)
+		for i := 0; i < int(opsCount)+16; i++ {
+			if len(live) == 0 || rng.Intn(3) > 0 {
+				a, err := p.Alloc(int64(rng.Intn(int(6*BlockSize))) + 1)
+				if err == nil {
+					live = append(live, a.ID)
+				}
+			} else {
+				k := rng.Intn(len(live))
+				if p.Free(live[k]) != nil {
+					return false
+				}
+				live = append(live[:k], live[k+1:]...)
+			}
+			if p.CheckInvariants() != nil {
+				return false
+			}
+			if fr := p.Fragmentation(); fr < 0 || fr > 1 {
+				t.Logf("fragmentation %v out of [0,1]", fr)
+				return false
+			}
+		}
+		for _, id := range live {
+			if p.Free(id) != nil {
+				return false
+			}
+		}
+		// Fully drained: a single free span covering the whole pool.
+		return p.CheckInvariants() == nil && p.Used() == 0 &&
+			p.LargestFree() == p.Capacity() && p.Fragmentation() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,289 @@
+package memmgr
+
+// The adaptive planner: the paper's headline is *dynamic* GPU memory
+// management, yet a one-shot plan computed before iteration 0 and
+// replayed verbatim cannot represent workloads whose shape changes
+// between iterations (bucketed sequence lengths, batch ramps — the
+// setting where vDNN-style static offload schedules break down).
+// Adaptive closes the loop: it observes each iteration's measured
+// signals — stall time, pool fragmentation, tensor-cache hit rate,
+// failed prefetches, OOM near-misses — and revises the
+// offload/prefetch/recompute knobs for the next iteration boundary,
+// widening the offload set under pressure and shrinking it when the
+// cache absorbs the working set.
+//
+// Every input is a deterministic product of the virtual-time
+// simulation, so two replays of the same dynamic trace make identical
+// decisions — determinism is load-bearing for admission control.
+
+import (
+	"repro/internal/recompute"
+	"repro/internal/sim"
+	"repro/internal/utp"
+)
+
+// Signals are the measured observations of one completed (or failed)
+// iteration that the adaptive planner consumes.
+type Signals struct {
+	// Iteration indexes the observed iteration; Batch is its shape,
+	// NextBatch the declared shape of the next iteration (0 when the
+	// run ends) — the planner may anticipate the incoming shape but
+	// only through measured per-byte behavior of the current one.
+	Iteration int
+	Batch     int
+	NextBatch int
+
+	// OOM reports that the iteration failed with an out-of-memory
+	// error under the current plan.
+	OOM bool
+
+	IterTime  sim.Duration
+	StallTime sim.Duration
+
+	// PoolPeak is the pool high-water mark of this iteration;
+	// PoolBytes the capacity.
+	PoolPeak  int64
+	PoolBytes int64
+	// Fragmentation is the pool's 1 - largest/total free space after
+	// the iteration.
+	Fragmentation float64
+
+	CacheHits        int64
+	CacheMisses      int64
+	FailedPrefetches int64
+}
+
+// HeadroomFrac returns the unused fraction of the pool at the
+// iteration's peak.
+func (s Signals) HeadroomFrac() float64 {
+	if s.PoolBytes <= 0 {
+		return 0
+	}
+	return 1 - float64(s.PoolPeak)/float64(s.PoolBytes)
+}
+
+// StallFrac returns stall time as a fraction of the iteration.
+func (s Signals) StallFrac() float64 {
+	if s.IterTime <= 0 {
+		return 0
+	}
+	return float64(s.StallTime) / float64(s.IterTime)
+}
+
+// CacheHitRate returns hits/(hits+misses), or 1 when the cache saw no
+// traffic (an idle cache is absorbing the working set trivially).
+func (s Signals) CacheHitRate() float64 {
+	total := s.CacheHits + s.CacheMisses
+	if total == 0 {
+		return 1
+	}
+	return float64(s.CacheHits) / float64(total)
+}
+
+// PredictedNextPeak scales this iteration's measured peak linearly to
+// the next iteration's batch — functional footprints grow with N while
+// the persistent state does not, so this is a slight overestimate:
+// exactly the right bias for a near-miss detector.
+func (s Signals) PredictedNextPeak() int64 {
+	if s.Batch <= 0 || s.NextBatch <= 0 {
+		return s.PoolPeak
+	}
+	return int64(float64(s.PoolPeak) * float64(s.NextBatch) / float64(s.Batch))
+}
+
+// The decision thresholds. Escalation is eager (a single bad signal
+// widens the plan: an OOM'd iteration is lost work), de-escalation is
+// conservative (sustained calm plus hysteresis, so the plan does not
+// oscillate around a boundary shape).
+const (
+	// adaptEscalateHeadroom: below this peak headroom the iteration
+	// was an OOM near-miss.
+	adaptEscalateHeadroom = 0.10
+	// adaptEscalateStall: stalls above this fraction of the iteration
+	// mean transfers are not hiding behind compute — eager offloads
+	// must start earlier (a wider eager set) to overlap.
+	adaptEscalateStall = 0.15
+	// adaptNextPeakFrac: predicted next-shape peak above this fraction
+	// of the pool escalates before the bigger shape arrives.
+	adaptNextPeakFrac = 0.92
+	// adaptCalmHeadroom / adaptCalmStall / adaptCalmHitRate: an
+	// iteration is calm when headroom is ample, stalls negligible and
+	// the cache (when present) absorbs the working set.
+	adaptCalmHeadroom = 0.45
+	adaptCalmStall    = 0.02
+	adaptCalmHitRate  = 0.95
+	// adaptCalmNextPeakFrac: de-escalation additionally requires the
+	// predicted next-shape peak to leave the narrower plan real room.
+	adaptCalmNextPeakFrac = 0.60
+	// adaptCalmRun: consecutive calm iterations required before the
+	// plan narrows; also the post-change cooldown.
+	adaptCalmRun = 2
+)
+
+// Adaptive revises the offload/prefetch/recompute plan online. It owns
+// a ladder of plan aggressiveness levels over the base configuration;
+// Observe moves along the ladder from measured signals and Config
+// materializes the current level's knobs.
+type Adaptive struct {
+	base  Config
+	level int
+	// moved is set once Observe has changed the plan; until then
+	// Config returns the base verbatim, so enabling the planner never
+	// silently rewrites a manager's own plan (e.g. vdnn's swap-all
+	// offload set) before any signal has been observed.
+	moved    bool
+	calm     int
+	cooldown int
+	replans  int
+}
+
+// adaptMaxLevel indexes the widest plan on the ladder.
+const adaptMaxLevel = 3
+
+// NewAdaptive returns a planner starting at the level matching the
+// base configuration's offload knobs.
+func NewAdaptive(base Config) *Adaptive {
+	a := &Adaptive{base: base}
+	switch base.Offload {
+	case utp.OffloadNone:
+		a.level = 0
+	case utp.OffloadConv:
+		a.level = 1
+	default: // conv+kept, swap-all
+		a.level = 2
+	}
+	if a.level == 2 && base.Recompute != recompute.None {
+		a.level = 3
+	}
+	return a
+}
+
+// Level returns the current aggressiveness level (0 = keep everything
+// resident, adaptMaxLevel = widest offload set plus recomputation).
+func (a *Adaptive) Level() int { return a.level }
+
+// Replans counts the plan revisions Observe has made.
+func (a *Adaptive) Replans() int { return a.replans }
+
+// Config materializes the current level over the base configuration.
+// Until the first plan revision it is the base itself.
+func (a *Adaptive) Config() Config {
+	if !a.moved {
+		return a.base
+	}
+	return a.apply(a.level)
+}
+
+// apply materializes a ladder level's knobs over the base. Once the
+// planner has revised the plan, the ladder owns the offload mode: a
+// swap-all base (vdnn, tensorflow-swap) escalates into conv+kept —
+// which is not a superset of swap-all's tensor set but strictly
+// dominates it on peak memory (swap heuristics keep O(depth)
+// join/fan-out tensors resident, §2.2; conv+kept offloads exactly
+// those, and level 3's recomputation drops the cheap outputs swap-all
+// would have moved), so escalation never trades away capacity.
+func (a *Adaptive) apply(level int) Config {
+	cfg := a.base
+	switch level {
+	case 0:
+		cfg.Offload = utp.OffloadNone
+		cfg.Prefetch = false
+	case 1:
+		cfg.Offload = utp.OffloadConv
+		cfg.Prefetch = true
+	default:
+		cfg.Offload = utp.OffloadConvAndKept
+		cfg.Prefetch = true
+	}
+	if level >= 3 && cfg.Recompute == recompute.None {
+		cfg.Recompute = recompute.CostAware
+	}
+	return cfg
+}
+
+// Observe feeds one iteration's signals into the planner and reports
+// whether the plan for the next iteration changed (the caller must
+// then Rebind with the revised Config).
+func (a *Adaptive) Observe(s Signals) bool {
+	escalate := s.OOM ||
+		s.HeadroomFrac() < adaptEscalateHeadroom ||
+		s.StallFrac() > adaptEscalateStall ||
+		s.FailedPrefetches > 0 ||
+		(s.NextBatch > s.Batch &&
+			float64(s.PredictedNextPeak()) > adaptNextPeakFrac*float64(s.PoolBytes))
+
+	if escalate {
+		a.calm = 0
+		a.cooldown = adaptCalmRun
+		return a.moveTo(a.wider())
+	}
+
+	calmNow := s.HeadroomFrac() > adaptCalmHeadroom &&
+		s.StallFrac() < adaptCalmStall &&
+		s.CacheHitRate() > adaptCalmHitRate &&
+		float64(s.PredictedNextPeak()) < adaptCalmNextPeakFrac*float64(s.PoolBytes)
+	if !calmNow {
+		a.calm = 0
+		if a.cooldown > 0 {
+			a.cooldown--
+		}
+		return false
+	}
+	a.calm++
+	if a.cooldown > 0 {
+		a.cooldown--
+		return false
+	}
+	if a.calm < adaptCalmRun {
+		return false
+	}
+	a.calm = 0
+	a.cooldown = adaptCalmRun
+	return a.moveTo(a.narrower())
+}
+
+// planKnobs is the comparable slice of Config the ladder owns.
+type planKnobs struct {
+	offload   utp.Mode
+	prefetch  bool
+	recompute recompute.Strategy
+}
+
+func (a *Adaptive) knobs(level int) planKnobs {
+	cfg := a.apply(level)
+	return planKnobs{offload: cfg.Offload, prefetch: cfg.Prefetch, recompute: cfg.Recompute}
+}
+
+// wider returns the next level up whose knobs actually differ (levels
+// can coincide, e.g. 2 and 3 when the base already recomputes).
+func (a *Adaptive) wider() int {
+	cur := a.knobs(a.level)
+	for l := a.level + 1; l <= adaptMaxLevel; l++ {
+		if a.knobs(l) != cur {
+			return l
+		}
+	}
+	return a.level
+}
+
+// narrower returns the next distinct level down.
+func (a *Adaptive) narrower() int {
+	cur := a.knobs(a.level)
+	for l := a.level - 1; l >= 0; l-- {
+		if a.knobs(l) != cur {
+			return l
+		}
+	}
+	return a.level
+}
+
+// moveTo switches levels, counting a replan only on a real change.
+func (a *Adaptive) moveTo(level int) bool {
+	if level == a.level {
+		return false
+	}
+	a.level = level
+	a.moved = true
+	a.replans++
+	return true
+}

@@ -94,6 +94,21 @@ type Config struct {
 	// profile is recorded on the last one). Defaults to 1.
 	Iterations int
 
+	// BatchSchedule declares a per-iteration batch schedule for
+	// dynamic workloads: entry i is the batch size of iteration i
+	// (cycling when Iterations exceeds its length). Only core's
+	// dynamic run loop honors it — the program is rebuilt for the
+	// incoming shape at each iteration boundary. Empty means every
+	// iteration reuses the network's static batch.
+	BatchSchedule []int
+	// AdaptivePlan enables the online adaptive planner for dynamic
+	// runs: instead of replaying the iteration-0 plan verbatim, the
+	// offload/prefetch/recompute knobs are revised at iteration
+	// boundaries from the previous iterations' measured signals
+	// (stall time, pool fragmentation, cache hit rate, failed
+	// prefetches, OOM near-misses). See Adaptive.
+	AdaptivePlan bool
+
 	// CollectTrace records every kernel and transfer as a timeline
 	// span (Result.Trace) for Chrome-trace export via internal/trace.
 	CollectTrace bool

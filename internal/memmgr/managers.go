@@ -77,6 +77,8 @@ func policyOf(donor func(hw.DeviceSpec) Config) func(Config) Config {
 		out.HostBytes = cfg.HostBytes
 		out.ExternalPools = cfg.ExternalPools
 		out.Iterations = cfg.Iterations
+		out.BatchSchedule = cfg.BatchSchedule
+		out.AdaptivePlan = cfg.AdaptivePlan
 		out.CollectTrace = cfg.CollectTrace
 		out.SGDUpdate = cfg.SGDUpdate
 		return out

@@ -68,8 +68,11 @@ type Residency interface {
 // OffloadEngine is the Unified Tensor Pool's transfer machinery.
 type OffloadEngine interface {
 	// Prefetch triggers the planned prefetches for the step so the H2D
-	// copies overlap its computation (§3.3.1).
-	Prefetch(si int)
+	// copies overlap its computation (§3.3.1). Allocation-pressure
+	// failures are tolerated (the tensor is fetched on demand at its
+	// use) and counted in Result.FailedPrefetches; any other fetch
+	// failure is a host-state inconsistency and is returned.
+	Prefetch(si int) error
 	// Harvest frees GPU copies whose D2H transfer completed and whose
 	// forward reads are done. With force it waits for one pending
 	// transfer if none has completed yet.

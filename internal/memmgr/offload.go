@@ -1,8 +1,10 @@
 package memmgr
 
 import (
+	"errors"
 	"fmt"
 
+	"repro/internal/gpumem"
 	"repro/internal/layers"
 	"repro/internal/program"
 	"repro/internal/sim"
@@ -27,21 +29,30 @@ func NewStdOffload(rt *Runtime, resid Residency) *StdOffload {
 }
 
 // Prefetch triggers the planned prefetches so the H2D copy overlaps
-// this step's computation (§3.3.1).
-func (o *StdOffload) Prefetch(si int) {
+// this step's computation (§3.3.1). Only allocation-pressure failures
+// are tolerated — fetch-on-demand covers them at the tensor's use, and
+// they are counted in Result.FailedPrefetches as a memory-pressure
+// signal for the adaptive planner. Any other failure means the host
+// copy's state is inconsistent and must surface.
+func (o *StdOffload) Prefetch(si int) error {
 	rt := o.rt
 	if !rt.Cfg.Prefetch {
-		return
+		return nil
 	}
 	for _, tid := range rt.UPlan.PrefetchAt[si] {
 		t := rt.P.Reg.Get(tid)
 		s := &rt.TS[tid]
 		if s.OnHost && !s.OnGPU && !s.InflightValid {
-			// Prefetch failures are tolerated: the tensor will be
-			// fetched on demand at its use.
-			_ = o.Fetch(t)
+			if err := o.Fetch(t); err != nil {
+				if errors.Is(err, gpumem.ErrOutOfMemory) {
+					rt.Res.FailedPrefetches++
+					continue
+				}
+				return fmt.Errorf("prefetch of %s at step %d: %w", t, si, err)
+			}
 		}
 	}
+	return nil
 }
 
 // AfterKernel runs the post-kernel offload protocol: checkpoint
@@ -104,13 +115,29 @@ func (o *StdOffload) IssueOffload(t *tensor.Tensor) {
 
 // Harvest frees GPU copies whose D2H transfer completed and whose
 // forward reads are done (the executor is past the tensor's last
-// forward reader). With force, it waits for a pending transfer if none
-// has completed yet (the background checker thread's job in the real
-// runtime).
+// forward reader). With force, when no transfer has completed yet it
+// waits for the pending one that completes earliest — not the first in
+// list order, which may finish long after a later-issued copy (e.g.
+// the instantly-complete host-backed input batch) and would overstate
+// StallTime (the background checker thread's job in the real runtime).
 func (o *StdOffload) Harvest(force bool) bool {
+	freed, earliest, ok := o.sweep()
+	if freed || !force || !ok {
+		return freed
+	}
 	rt := o.rt
-	freed := false
-	waited := false
+	rt.Res.StallTime += sim.Duration(earliest.At() - rt.TL.Now())
+	rt.TL.Wait(earliest)
+	freed, _, _ = o.sweep()
+	return freed
+}
+
+// sweep frees every harvestable completed offload, keeping the rest
+// pending. It returns whether anything was freed, plus the
+// earliest-completing event among the eligible still-pending transfers
+// (ok reports whether one exists).
+func (o *StdOffload) sweep() (freed bool, earliest sim.Event, ok bool) {
+	rt := o.rt
 	remaining := rt.PendingOff[:0]
 	for _, id := range rt.PendingOff {
 		s := &rt.TS[id]
@@ -124,20 +151,18 @@ func (o *StdOffload) Harvest(force bool) bool {
 			continue
 		}
 		if !s.OffEv.DoneBy(rt.TL.Now()) {
-			if !force || waited {
-				remaining = append(remaining, id)
-				continue
+			if !ok || s.OffEv.At() < earliest.At() {
+				earliest, ok = s.OffEv, true
 			}
-			rt.Res.StallTime += sim.Duration(s.OffEv.At() - rt.TL.Now())
-			rt.TL.Wait(s.OffEv)
-			waited = true
+			remaining = append(remaining, id)
+			continue
 		}
 		s.OffPending = false
 		o.resid.FreeGPU(t)
 		freed = true
 	}
 	rt.PendingOff = remaining
-	return freed
+	return freed, earliest, ok
 }
 
 // Fetch brings an offloaded tensor back to the GPU; consuming kernels
@@ -176,7 +201,7 @@ func (o *StdOffload) DropAfterFwd(si int) {
 type NullOffload struct{}
 
 // Prefetch is a no-op.
-func (NullOffload) Prefetch(int) {}
+func (NullOffload) Prefetch(int) error { return nil }
 
 // Harvest reports that nothing could be freed.
 func (NullOffload) Harvest(bool) bool { return false }

@@ -65,6 +65,10 @@ type Result struct {
 	CacheHits     int64
 	CacheMisses   int64
 	Evictions     int64
+	// FailedPrefetches counts planned prefetches that could not
+	// allocate under memory pressure and fell back to fetch-on-demand —
+	// a near-miss signal the adaptive planner consumes.
+	FailedPrefetches int64
 
 	// ExtraForwards counts recomputation replays (Table 1).
 	ExtraForwards int

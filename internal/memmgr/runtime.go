@@ -1,6 +1,8 @@
 package memmgr
 
 import (
+	"fmt"
+
 	"repro/internal/gpumem"
 	"repro/internal/hw"
 	"repro/internal/liveness"
@@ -83,17 +85,9 @@ type Runtime struct {
 // normalized (WithDefaults applied).
 func NewRuntime(p *program.Program, cfg Config) *Runtime {
 	rt := &Runtime{
-		Cfg:   cfg,
-		P:     p,
-		Live:  liveness.Analyze(p),
-		TL:    sim.NewTimeline(),
-		TS:    make([]TState, p.Reg.Len()),
-		Owner: make([]int, p.Reg.Len()),
-		Res:   &Result{Network: p.Net.Name, Batch: p.Net.Batch()},
+		TL:  sim.NewTimeline(),
+		Res: &Result{},
 	}
-	rt.RPlan = recompute.BuildPlan(p, cfg.Recompute)
-	rt.UPlan = utp.BuildPlan(p, cfg.Offload, rt.RPlan)
-	rt.SegReplayed = make([]bool, len(rt.RPlan.Segments))
 	rt.Compute = rt.TL.NewEngine("compute")
 	rt.H2D = rt.TL.NewEngine("h2d")
 	rt.D2H = rt.TL.NewEngine("d2h")
@@ -110,8 +104,26 @@ func NewRuntime(p *program.Program, cfg Config) *Runtime {
 		rt.HostLinks = append(rt.HostLinks, ep.Link)
 		rt.HostNames = append(rt.HostNames, ep.Name)
 	}
+	rt.bind(p, cfg)
+	return rt
+}
+
+// bind derives the program- and knob-dependent state: the analyses and
+// plans, the per-tensor placement table, and the planner-output
+// indices. It is the shared tail of NewRuntime and Rebind.
+func (rt *Runtime) bind(p *program.Program, cfg Config) {
+	rt.Cfg = cfg
+	rt.P = p
+	rt.Live = liveness.Analyze(p)
+	rt.TS = make([]TState, p.Reg.Len())
+	rt.Owner = make([]int, p.Reg.Len())
+	rt.RPlan = recompute.BuildPlan(p, cfg.Recompute)
+	rt.UPlan = utp.BuildPlan(p, cfg.Offload, rt.RPlan)
+	rt.SegReplayed = make([]bool, len(rt.RPlan.Segments))
 	if cfg.TensorCache {
 		rt.Cache = tcache.NewWithPolicy(cfg.CachePolicy)
+	} else {
+		rt.Cache = nil
 	}
 	for i := range rt.Owner {
 		rt.Owner[i] = -1
@@ -123,10 +135,12 @@ func NewRuntime(p *program.Program, cfg Config) *Runtime {
 			rt.Owner[p.Out[nd.ID].ID] = nd.ID
 		}
 	}
+	rt.Res.Network, rt.Res.Batch = p.Net.Name, p.Net.Batch()
 	rt.Res.BaselineBytes = p.BaselineBytes()
 	rt.Res.LPeak, _ = p.LPeak()
 	rt.Res.PersistentBytes = p.PersistentBytes
 
+	rt.PendingOff = nil
 	rt.DropAt = make([][]int, len(p.Steps))
 	for id := range rt.Owner {
 		nd := rt.Owner[id]
@@ -137,7 +151,30 @@ func NewRuntime(p *program.Program, cfg Config) *Runtime {
 			rt.DropAt[last] = append(rt.DropAt[last], id)
 		}
 	}
-	return rt
+}
+
+// Rebind retargets the runtime at a new program (a new input shape)
+// and possibly revised technique knobs at an iteration boundary, while
+// keeping the timeline, engines and memory pools — so virtual time,
+// pool fragmentation and transfer-engine history carry across the
+// re-plan exactly as they would on a real device. Every functional
+// tensor must already be freed (the iteration epilogue guarantees
+// this); only the persistent allocation survives. Capacity fields of
+// cfg (device, pool sizes) must not change across a Rebind.
+func (rt *Runtime) Rebind(p *program.Program, cfg Config) error {
+	if rt.ResBytes != 0 || rt.ResCount != 0 {
+		return fmt.Errorf("memmgr: rebind with %d bytes / %d tensors still resident", rt.ResBytes, rt.ResCount)
+	}
+	// Pending offloads of the outgoing program must drain before the
+	// tensor table is replaced: the host copies were freed with their
+	// tensors, so an in-flight D2H targeting them is a bug upstream.
+	for _, id := range rt.PendingOff {
+		if rt.TS[id].OffPending {
+			return fmt.Errorf("memmgr: rebind with offload of tensor %d still pending", id)
+		}
+	}
+	rt.bind(p, cfg)
+	return nil
 }
 
 // ResetIteration clears the per-iteration accounting so the reported
@@ -145,6 +182,7 @@ func NewRuntime(p *program.Program, cfg Config) *Runtime {
 func (rt *Runtime) ResetIteration() {
 	rt.Res.Steps = rt.Res.Steps[:0]
 	rt.Res.OffloadBytes, rt.Res.PrefetchBytes = 0, 0
+	rt.Res.FailedPrefetches = 0
 	rt.Res.ExtraForwards = 0
 	rt.Res.AllocCalls, rt.Res.FreeCalls, rt.Res.AllocTime = 0, 0, 0
 	rt.Res.StallTime = 0

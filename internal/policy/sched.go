@@ -8,12 +8,13 @@ import (
 // CompareSchedulers replays the same job stream on the same cluster
 // under every built-in scheduler policy (FIFO, priority, memory-aware
 // packing) — the multi-tenant counterpart of the single-job framework
-// comparisons above. Policies run in parallel; dry-run estimates are
-// memoized inside internal/sched, so the trace's distinct job shapes
-// are simulated once. Results land in sched.Policies() order.
+// comparisons above. Policies run in parallel over one shared
+// estimator, so the trace's distinct job shapes are dry-run once for
+// the whole comparison. Results land in sched.Policies() order.
 func CompareSchedulers(c sched.Cluster, jobs []sched.Job) ([]*sched.Result, error) {
+	est := sched.NewEstimator()
 	return par.MapErr(sched.Policies(), 0, func(p sched.Policy) (*sched.Result, error) {
-		s, err := sched.NewScheduler(c, p)
+		s, err := sched.NewSchedulerWithEstimator(c, p, est)
 		if err != nil {
 			return nil, err
 		}

@@ -11,29 +11,56 @@ import (
 	"repro/internal/nnet"
 )
 
-// DryRun predicts a job's peak pool footprint and iteration time by
-// running one iteration of the named network under the named memory
-// manager on an otherwise-idle device. The run is deterministic, so
-// the prediction is exact and is memoized per
-// (network, batch, manager, device): a thousand-job trace with a
+// Estimator memoizes dry-run admission estimates. Every manager's
+// Result is deterministic, so one dry run per distinct
+// (network, batch, manager, device) shape is exact forever — but the
+// memo must be owned, not process-global: a global map grows without
+// bound across clusters and leaks state between tests. Each Scheduler
+// owns one Estimator; construct more with NewEstimator to share a memo
+// deliberately.
+type Estimator struct {
+	mu    sync.Mutex
+	cache map[estKey]estVal
+}
+
+// NewEstimator returns an empty estimator.
+func NewEstimator() *Estimator {
+	return &Estimator{cache: make(map[estKey]estVal)}
+}
+
+// Estimate predicts a job's peak pool footprint and iteration time by
+// a memoized deterministic dry run: a thousand-job trace with a
 // handful of distinct job shapes pays for a handful of dry runs.
-func DryRun(network string, batch int, manager string, d hw.DeviceSpec) (memmgr.Estimate, error) {
+func (e *Estimator) Estimate(network string, batch int, manager string, d hw.DeviceSpec) (memmgr.Estimate, error) {
 	key := estKey{network: network, batch: batch, manager: manager, device: d}
-	estMu.Lock()
-	if v, ok := estCache[key]; ok {
-		estMu.Unlock()
+	e.mu.Lock()
+	if v, ok := e.cache[key]; ok {
+		e.mu.Unlock()
 		return v.est, v.err
 	}
-	estMu.Unlock()
+	e.mu.Unlock()
 
-	est, err := dryRun(network, batch, manager, d)
-	estMu.Lock()
-	estCache[key] = estVal{est: est, err: err}
-	estMu.Unlock()
+	est, err := DryRun(network, batch, manager, d)
+	e.mu.Lock()
+	e.cache[key] = estVal{est: est, err: err}
+	e.mu.Unlock()
 	return est, err
 }
 
-func dryRun(network string, batch int, manager string, d hw.DeviceSpec) (memmgr.Estimate, error) {
+// Len returns the number of memoized shapes (for tests and
+// introspection).
+func (e *Estimator) Len() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.cache)
+}
+
+// DryRun predicts a job's peak pool footprint and iteration time by
+// running one iteration of the named network under the named memory
+// manager on an otherwise-idle device. The run is deterministic, so
+// the prediction is exact. DryRun itself is unmemoized; schedulers
+// route through their own Estimator.
+func DryRun(network string, batch int, manager string, d hw.DeviceSpec) (memmgr.Estimate, error) {
 	b := nnet.ByName(network)
 	if b == nil {
 		return memmgr.Estimate{}, fmt.Errorf("sched: unknown network %q", network)
@@ -62,11 +89,6 @@ type estVal struct {
 	est memmgr.Estimate
 	err error
 }
-
-var (
-	estMu    sync.Mutex
-	estCache = map[estKey]estVal{}
-)
 
 // errOOM reports whether a dry run failed for capacity reasons.
 func errOOM(err error) bool { return errors.Is(err, core.ErrOutOfMemory) }

@@ -36,6 +36,7 @@ import (
 	"repro/internal/hw"
 	"repro/internal/memmgr"
 	"repro/internal/sim"
+	"repro/internal/workload"
 )
 
 // Job is one training-job request in the workload stream.
@@ -45,6 +46,13 @@ type Job struct {
 	// Network and Batch select the model (see superneurons.Networks).
 	Network string
 	Batch   int
+	// BatchSchedule, when non-empty, declares a dynamic per-iteration
+	// batch schedule (iteration i runs at entry i mod len). Admission
+	// then reserves the worst-case shape — the maximum dry-run peak
+	// over the schedule's distinct batches — so a dynamic job can
+	// never OOM its device mid-run, while each iteration is charged
+	// its own shape's duration.
+	BatchSchedule []int
 	// Manager names the internal/memmgr policy the job trains under
 	// ("superneurons", "vdnn", "naive", ...; empty runs the
 	// flag-driven default, the naive baseline).
@@ -167,8 +175,13 @@ func (r *Result) MeanWait() sim.Duration {
 // jobState is the scheduler's mutable view of one job.
 type jobState struct {
 	Job
-	seq       int // input order, the deterministic tie-breaker
-	est       memmgr.Estimate
+	seq int // input order, the deterministic tie-breaker
+	// est is the admission estimate: for dynamic jobs, the worst case
+	// over the schedule's distinct shapes.
+	est memmgr.Estimate
+	// iterTimes holds the per-schedule-position iteration durations
+	// (one entry for static jobs).
+	iterTimes []sim.Duration
 	remaining int
 	device    int
 	started   bool
@@ -207,10 +220,13 @@ func (d *device) setUsed(now sim.Time, delta int64) {
 	}
 }
 
-// Scheduler binds a cluster to a policy.
+// Scheduler binds a cluster to a policy. It owns the dry-run estimate
+// memo: repeated Run calls on one scheduler share estimates, while two
+// schedulers (or clusters) never leak state into each other.
 type Scheduler struct {
 	cluster Cluster
 	policy  Policy
+	est     *Estimator
 }
 
 // NewScheduler returns a scheduler placing jobs on the cluster under
@@ -225,7 +241,26 @@ func NewScheduler(c Cluster, p Policy) (*Scheduler, error) {
 	if p.Less == nil {
 		return nil, fmt.Errorf("sched: policy %q has no queue order", p.Name)
 	}
-	return &Scheduler{cluster: c, policy: p}, nil
+	return &Scheduler{cluster: c, policy: p, est: NewEstimator()}, nil
+}
+
+// Estimator exposes the scheduler's dry-run memo, so callers replaying
+// several policies over one cluster can share it (see
+// NewSchedulerWithEstimator).
+func (s *Scheduler) Estimator() *Estimator { return s.est }
+
+// NewSchedulerWithEstimator is NewScheduler with a caller-provided
+// estimate memo, letting policy comparisons over the same cluster pay
+// for each distinct job shape's dry run once.
+func NewSchedulerWithEstimator(c Cluster, p Policy, e *Estimator) (*Scheduler, error) {
+	s, err := NewScheduler(c, p)
+	if err != nil {
+		return nil, err
+	}
+	if e != nil {
+		s.est = e
+	}
+	return s, nil
 }
 
 // Run replays the job stream through the cluster and returns the
@@ -234,8 +269,11 @@ func NewScheduler(c Cluster, p Policy) (*Scheduler, error) {
 func (s *Scheduler) Run(jobs []Job) (*Result, error) {
 	cap := s.cluster.Capacity()
 
-	// Dry-run every job once for its admission estimate; jobs that
-	// cannot fit an idle device are rejected up front.
+	// Dry-run every job's distinct shapes once for its admission
+	// estimate; jobs whose worst-case shape cannot fit an idle device
+	// are rejected up front. A dynamic job reserves its worst case for
+	// its whole residency — the memory guarantee — while each
+	// iteration is charged its own shape's measured duration.
 	states := make([]*jobState, len(jobs))
 	rejected := make(map[int]string)
 	for i, j := range jobs {
@@ -245,19 +283,47 @@ func (s *Scheduler) Run(jobs []Job) (*Result, error) {
 		if j.ID == "" {
 			j.ID = fmt.Sprintf("job%d", i)
 		}
-		est, err := DryRun(j.Network, j.Batch, j.Manager, s.cluster.Device)
-		if err != nil {
-			if isOOM(err) {
-				rejected[i] = "exceeds device memory even alone"
-				states[i] = &jobState{Job: j, seq: i}
-				continue
+		batches := []int{j.Batch}
+		if len(j.BatchSchedule) > 0 {
+			sched := workload.Schedule(j.BatchSchedule)
+			if err := sched.Validate(); err != nil {
+				return nil, fmt.Errorf("sched: job %s: %w", j.ID, err)
 			}
-			return nil, fmt.Errorf("sched: job %s: %w", j.ID, err)
+			batches = sched.Distinct()
 		}
-		if est.PeakBytes > cap {
-			rejected[i] = fmt.Sprintf("predicted peak %d exceeds device capacity %d", est.PeakBytes, cap)
+		perBatch := make(map[int]memmgr.Estimate, len(batches))
+		var worst memmgr.Estimate
+		rejReason := ""
+		for _, b := range batches {
+			est, err := s.est.Estimate(j.Network, b, j.Manager, s.cluster.Device)
+			if err != nil {
+				if isOOM(err) {
+					rejReason = fmt.Sprintf("batch %d exceeds device memory even alone", b)
+					break
+				}
+				return nil, fmt.Errorf("sched: job %s: %w", j.ID, err)
+			}
+			perBatch[b] = est
+			if est.PeakBytes > worst.PeakBytes {
+				worst = est
+			}
 		}
-		states[i] = &jobState{Job: j, seq: i, est: est, remaining: j.Iterations, device: -1}
+		if rejReason != "" {
+			rejected[i] = rejReason
+			states[i] = &jobState{Job: j, seq: i}
+			continue
+		}
+		if worst.PeakBytes > cap {
+			rejected[i] = fmt.Sprintf("predicted worst-case peak %d exceeds device capacity %d", worst.PeakBytes, cap)
+		}
+		iterTimes := []sim.Duration{worst.IterTime}
+		if len(j.BatchSchedule) > 0 {
+			iterTimes = make([]sim.Duration, len(j.BatchSchedule))
+			for k, b := range j.BatchSchedule {
+				iterTimes[k] = perBatch[b].IterTime
+			}
+		}
+		states[i] = &jobState{Job: j, seq: i, est: worst, iterTimes: iterTimes, remaining: j.Iterations, device: -1}
 	}
 
 	tl := sim.NewTimeline()
@@ -332,7 +398,7 @@ func (s *Scheduler) Run(jobs []Job) (*Result, error) {
 			d.rr = (d.rr + k + 1) % n
 			d.inflight = true
 			js.running = true
-			ev := d.engine.Submit(now, js.est.IterTime)
+			ev := d.engine.Submit(now, js.iterDur())
 			agenda.Post(ev.At(), func(t sim.Time) { iterDone(&pending, js, d, t, admit, vacate, dispatch, s.policy, devs, cap) })
 			return
 		}
@@ -405,6 +471,14 @@ func (s *Scheduler) Run(jobs []Job) (*Result, error) {
 		res.ComputeUtilization = float64(busySum) / (float64(len(devs)) * float64(end))
 	}
 	return res, nil
+}
+
+// iterDur returns the duration of the job's next iteration: completed
+// iterations index the batch schedule, cycling past its end (static
+// jobs have a single entry).
+func (js *jobState) iterDur() sim.Duration {
+	done := js.Iterations - js.remaining
+	return js.iterTimes[done%len(js.iterTimes)]
 }
 
 // iterDone handles one iteration-completion event.

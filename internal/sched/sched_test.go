@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/hw"
+	"repro/internal/sim"
 	"repro/internal/workload"
 )
 
@@ -187,12 +188,13 @@ func TestSchedulerValidation(t *testing.T) {
 	}
 }
 
-func TestDryRunCache(t *testing.T) {
-	a, err := DryRun("AlexNet", 64, "naive", hw.TeslaK40c)
+func TestEstimatorMemoizes(t *testing.T) {
+	e := NewEstimator()
+	a, err := e.Estimate("AlexNet", 64, "naive", hw.TeslaK40c)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := DryRun("AlexNet", 64, "naive", hw.TeslaK40c)
+	b, err := e.Estimate("AlexNet", 64, "naive", hw.TeslaK40c)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,5 +203,154 @@ func TestDryRunCache(t *testing.T) {
 	}
 	if a.PeakBytes <= 0 || a.IterTime <= 0 {
 		t.Errorf("degenerate estimate %+v", a)
+	}
+	if e.Len() != 1 {
+		t.Errorf("estimator holds %d entries after one distinct shape, want 1", e.Len())
+	}
+}
+
+// The estimate memo is owned per scheduler: running a trace through
+// one cluster must not populate (or leak into) another's cache.
+func TestEstimatorScopedPerScheduler(t *testing.T) {
+	s1, err := NewScheduler(testCluster(), FIFO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewScheduler(Cluster{Device: hw.TitanXP, Devices: 2}, FIFO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s1.Run(JobsFromTrace(workload.DefaultTrace())); err != nil {
+		t.Fatal(err)
+	}
+	if s1.Estimator().Len() == 0 {
+		t.Error("scheduler's own estimator not populated by its run")
+	}
+	if n := s2.Estimator().Len(); n != 0 {
+		t.Errorf("second cluster's estimator holds %d entries without running anything", n)
+	}
+}
+
+// A shared estimator is an explicit choice, not an ambient global.
+func TestSharedEstimatorIsExplicit(t *testing.T) {
+	est := NewEstimator()
+	s1, err := NewSchedulerWithEstimator(testCluster(), FIFO, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewSchedulerWithEstimator(testCluster(), Packing, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s1.Run(JobsFromTrace(workload.DefaultTrace())); err != nil {
+		t.Fatal(err)
+	}
+	n := est.Len()
+	if n == 0 {
+		t.Fatal("shared estimator not populated")
+	}
+	if _, err := s2.Run(JobsFromTrace(workload.DefaultTrace())); err != nil {
+		t.Fatal(err)
+	}
+	if est.Len() != n {
+		t.Errorf("replaying the same trace grew the shared memo from %d to %d distinct shapes", n, est.Len())
+	}
+}
+
+func runDynamicTrace(t *testing.T, p Policy) *Result {
+	t.Helper()
+	s, err := NewScheduler(testCluster(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(JobsFromTrace(workload.DefaultDynamicTrace()))
+	if err != nil {
+		t.Fatalf("%s: %v", p.Name, err)
+	}
+	return res
+}
+
+// Dynamic jobs replay deterministically under every policy.
+func TestDynamicTraceDeterministic(t *testing.T) {
+	for _, p := range Policies() {
+		a := runDynamicTrace(t, p)
+		b := runDynamicTrace(t, p)
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: two runs of the dynamic trace differ", p.Name)
+		}
+	}
+}
+
+// A dynamic job's admission estimate is the worst case over its
+// schedule's distinct shapes: the reservation equals the max per-shape
+// dry-run peak, so the job can never OOM its device mid-run.
+func TestDynamicJobWorstCaseAdmission(t *testing.T) {
+	s, err := NewScheduler(testCluster(), FIFO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run([]Job{
+		{ID: "dyn", Network: "AlexNet", Batch: 512, BatchSchedule: []int{128, 512, 128}, Manager: "naive", Iterations: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := s.Estimator().Estimate("AlexNet", 128, "naive", testCluster().Device)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := s.Estimator().Estimate("AlexNet", 512, "naive", testCluster().Device)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := res.Jobs[0]
+	if j.Rejected {
+		t.Fatalf("dynamic job rejected: %s", j.Reason)
+	}
+	if j.Estimate.PeakBytes != big.PeakBytes {
+		t.Errorf("admitted with peak %d, want the worst-case shape's %d", j.Estimate.PeakBytes, big.PeakBytes)
+	}
+	if res.Devices[j.Device].PeakReserved != big.PeakBytes {
+		t.Errorf("device reserved %d, want worst-case %d", res.Devices[j.Device].PeakReserved, big.PeakBytes)
+	}
+	// Per-iteration durations follow the schedule, not the worst case:
+	// the job's span is the sum of its shapes' iteration times.
+	want := 2*small.IterTime + big.IterTime
+	if got := sim.Duration(j.Finish - j.Start); got != want {
+		t.Errorf("dynamic job span %v, want per-shape sum %v", got, want)
+	}
+}
+
+// A dynamic job whose worst-case shape cannot fit any device is
+// rejected up front, even when its common shape would fit.
+func TestDynamicJobWorstCaseRejected(t *testing.T) {
+	s, err := NewScheduler(testCluster(), FIFO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run([]Job{
+		{ID: "burst", Network: "AlexNet", Batch: 1024, BatchSchedule: []int{64, 1024}, Manager: "naive", Iterations: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Jobs[0].Rejected {
+		t.Fatal("burst job admitted although its worst-case shape exceeds the device")
+	}
+	if !strings.Contains(res.Jobs[0].Reason, "1024") {
+		t.Errorf("rejection reason %q does not name the offending shape", res.Jobs[0].Reason)
+	}
+}
+
+// Bad schedules surface as errors, not silent admissions.
+func TestDynamicJobScheduleValidation(t *testing.T) {
+	s, err := NewScheduler(testCluster(), FIFO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run([]Job{
+		{ID: "bad", Network: "AlexNet", Batch: 64, BatchSchedule: []int{64, 0}, Iterations: 2},
+	}); err == nil || !strings.Contains(err.Error(), "positive") {
+		t.Errorf("non-positive schedule entry not rejected: %v", err)
 	}
 }

@@ -11,13 +11,14 @@ func JobsFromTrace(ts []workload.TraceJob) []Job {
 	out := make([]Job, len(ts))
 	for i, t := range ts {
 		out[i] = Job{
-			ID:         t.ID,
-			Network:    t.Network,
-			Batch:      t.Batch,
-			Manager:    t.Manager,
-			Priority:   t.Priority,
-			Arrival:    sim.Time(t.ArrivalMS) * sim.Time(sim.Millisecond),
-			Iterations: t.Iterations,
+			ID:            t.ID,
+			Network:       t.Network,
+			Batch:         t.Batch,
+			BatchSchedule: t.BatchSchedule,
+			Manager:       t.Manager,
+			Priority:      t.Priority,
+			Arrival:       sim.Time(t.ArrivalMS) * sim.Time(sim.Millisecond),
+			Iterations:    t.Iterations,
 		}
 	}
 	return out

@@ -12,13 +12,19 @@ import (
 // job submitted to the shared cluster. Times are in milliseconds so
 // traces stay human-editable; the scheduler converts to virtual time.
 type TraceJob struct {
-	ID         string
-	ArrivalMS  int64
-	Network    string
-	Batch      int
-	Manager    string
-	Priority   int
-	Iterations int
+	ID        string
+	ArrivalMS int64
+	Network   string
+	// Batch is the worst-case batch: the static batch size, or the
+	// largest entry of BatchSchedule for a dynamic job.
+	Batch int
+	// BatchSchedule, when non-nil, declares a per-iteration batch
+	// schedule (a dynamic-shape job); nil means every iteration runs
+	// at Batch.
+	BatchSchedule Schedule
+	Manager       string
+	Priority      int
+	Iterations    int
 }
 
 // ParseTrace reads a whitespace-separated trace: one job per line as
@@ -26,7 +32,9 @@ type TraceJob struct {
 //	id arrival_ms network batch manager priority iterations
 //
 // Blank lines and lines starting with '#' are skipped. A manager of
-// "-" means the default (flag-driven) manager.
+// "-" means the default (flag-driven) manager. The batch field accepts
+// the compact schedule syntax ("16x2,32,64x3") to declare a dynamic
+// per-iteration batch schedule.
 func ParseTrace(r io.Reader) ([]TraceJob, error) {
 	var out []TraceJob
 	sc := bufio.NewScanner(r)
@@ -50,8 +58,13 @@ func ParseTrace(r io.Reader) ([]TraceJob, error) {
 			return nil, fmt.Errorf("workload: trace line %d: bad arrival %q", line, f[1])
 		}
 		tj.Network = f[2]
-		if tj.Batch, err = strconv.Atoi(f[3]); err != nil || tj.Batch <= 0 {
+		sched, err := ParseSchedule(f[3])
+		if err != nil {
 			return nil, fmt.Errorf("workload: trace line %d: bad batch %q", line, f[3])
+		}
+		tj.Batch = sched.Max()
+		if len(sched) > 1 {
+			tj.BatchSchedule = sched
 		}
 		if tj.Manager = f[4]; tj.Manager == "-" {
 			tj.Manager = ""
@@ -80,8 +93,12 @@ func FormatTrace(jobs []TraceJob) string {
 		if m == "" {
 			m = "-"
 		}
-		fmt.Fprintf(&b, "%s %d %s %d %s %d %d\n",
-			j.ID, j.ArrivalMS, j.Network, j.Batch, m, j.Priority, j.Iterations)
+		batch := fmt.Sprint(j.Batch)
+		if len(j.BatchSchedule) > 1 {
+			batch = j.BatchSchedule.String()
+		}
+		fmt.Fprintf(&b, "%s %d %s %s %s %d %d\n",
+			j.ID, j.ArrivalMS, j.Network, batch, m, j.Priority, j.Iterations)
 	}
 	return b.String()
 }
@@ -106,5 +123,27 @@ func DefaultTrace() []TraceJob {
 		{ID: "mid-sn", ArrivalMS: 350, Network: "AlexNet", Batch: 512, Manager: "superneurons", Priority: 3, Iterations: 2},
 		{ID: "too-big", ArrivalMS: 400, Network: "AlexNet", Batch: 1024, Manager: "naive", Priority: 4, Iterations: 1},
 		{ID: "late-alex", ArrivalMS: 5000, Network: "AlexNet", Batch: 64, Manager: "naive", Priority: 5, Iterations: 6},
+	}
+}
+
+// DefaultDynamicTrace is the bundled dynamic-workload trace: jobs
+// whose per-iteration batch schedules vary their footprint across the
+// run. Admission control must reserve each job's worst-case shape
+// (max over the schedule's distinct batches), so a ramped or spiking
+// job can never OOM its device mid-run, while static small jobs fill
+// the remaining gaps.
+func DefaultDynamicTrace() []TraceJob {
+	ramp := Ramp(128, 512, 4)
+	spike := Schedule{128, 512, 128}
+	buckets := Buckets(2, 16, 32)
+	return []TraceJob{
+		{ID: "ramp-alex", ArrivalMS: 0, Network: "AlexNet", Batch: ramp.Max(), BatchSchedule: ramp,
+			Manager: "naive", Priority: 2, Iterations: len(ramp)},
+		{ID: "spike-alex", ArrivalMS: 50, Network: "AlexNet", Batch: spike.Max(), BatchSchedule: spike,
+			Manager: "superneurons", Priority: 3, Iterations: len(spike)},
+		{ID: "bucket-resnet", ArrivalMS: 100, Network: "ResNet50", Batch: buckets.Max(), BatchSchedule: buckets,
+			Manager: "vdnn", Priority: 2, Iterations: len(buckets)},
+		{ID: "steady-alex", ArrivalMS: 150, Network: "AlexNet", Batch: 128, Manager: "naive", Priority: 1, Iterations: 5},
+		{ID: "steady-sn", ArrivalMS: 200, Network: "AlexNet", Batch: 256, Manager: "superneurons", Priority: 1, Iterations: 3},
 	}
 }

@@ -140,6 +140,49 @@ func Networks() []string {
 // configuration and returns the last iteration's profile.
 func Run(net *Network, cfg Config) (*Result, error) { return core.Run(net, cfg) }
 
+// Dynamic workloads: training runs whose input shape changes between
+// iterations (bucketed sequence lengths, batch ramps). The program is
+// rebuilt for the incoming shape at each iteration boundary; with
+// Config.AdaptivePlan the offload/prefetch/recompute plan is revised
+// online from the previous iterations' measured signals instead of
+// replaying the one-shot static plan.
+type (
+	// BatchSchedule is a per-iteration batch schedule (entry i is
+	// iteration i's batch size, cycling past the end).
+	BatchSchedule = workload.Schedule
+	// DynamicResult aggregates a dynamic run: per-iteration profiles,
+	// OOM failures, plan revisions, total stall and throughput.
+	DynamicResult = core.DynamicResult
+	// DynamicIteration is one iteration's record in a DynamicResult.
+	DynamicIteration = core.IterationProfile
+)
+
+// RampSchedule interpolates a batch ramp from 'from' to 'to' over n
+// iterations.
+func RampSchedule(from, to, n int) BatchSchedule { return workload.Ramp(from, to, n) }
+
+// BucketSchedule repeats each batch size reps times in order (the
+// bucketed sequence-length regime).
+func BucketSchedule(reps int, batches ...int) BatchSchedule {
+	return workload.Buckets(reps, batches...)
+}
+
+// DynamicSchedules returns the bundled dynamic-batch schedules by
+// name (see workload.DynamicScheduleNames for the list).
+func DynamicSchedules() map[string]BatchSchedule { return workload.DynamicSchedules }
+
+// RunDynamic simulates a dynamic-shape training run of the named
+// network: iteration i runs at cfg.BatchSchedule[i mod len]. Set
+// cfg.AdaptivePlan to revise the memory plan online.
+func RunDynamic(network string, cfg Config) (*DynamicResult, error) {
+	b := nnet.ByName(network)
+	if b == nil {
+		return nil, fmt.Errorf("superneurons: unknown network %q (have %s)",
+			network, strings.Join(Networks(), ", "))
+	}
+	return core.RunDynamic(b, cfg)
+}
+
 // Frameworks returns the competing memory-policy models (Caffe, MXNet,
 // Torch, TensorFlow, SuperNeurons) in the paper's table order.
 func Frameworks() []Framework { return policy.All }
@@ -222,8 +265,11 @@ func NewScheduler(c Cluster, p SchedulerPolicy) (*Scheduler, error) {
 }
 
 // EstimateJob predicts a job's peak pool footprint and iteration time
-// on the device by a memoized deterministic dry run — the admission
-// estimate the scheduler uses.
+// on the device by one deterministic dry run — the admission estimate
+// the scheduler uses. Each call pays for its own dry run; the
+// scheduler itself memoizes estimates per distinct job shape in an
+// estimator it owns, so traces replay cheaply without any
+// process-global cache.
 func EstimateJob(network string, batch int, manager string, d Device) (JobEstimate, error) {
 	return sched.DryRun(network, batch, manager, d)
 }
@@ -232,6 +278,13 @@ func EstimateJob(network string, batch int, manager string, d Device) (JobEstima
 // (see cmd/snsched and examples/multitenant).
 func DefaultClusterTrace() []Job {
 	return sched.JobsFromTrace(workload.DefaultTrace())
+}
+
+// DynamicClusterTrace returns the bundled dynamic-workload trace:
+// jobs with per-iteration batch schedules, admitted by their
+// worst-case shape (snsched -dynamic replays it).
+func DynamicClusterTrace() []Job {
+	return sched.JobsFromTrace(workload.DefaultDynamicTrace())
 }
 
 // CompareSchedulers replays the job stream on the cluster under every

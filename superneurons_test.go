@@ -179,3 +179,47 @@ func TestClusterSchedulingAPI(t *testing.T) {
 		t.Error("two scheduler runs over the same trace differ")
 	}
 }
+
+func TestDynamicFacade(t *testing.T) {
+	if got := RampSchedule(16, 48, 3); len(got) != 3 || got[0] != 16 || got[2] != 48 {
+		t.Errorf("RampSchedule = %v", got)
+	}
+	if got := BucketSchedule(2, 8, 16); len(got) != 4 || got[3] != 16 {
+		t.Errorf("BucketSchedule = %v", got)
+	}
+	if _, ok := DynamicSchedules()["ramp50"]; !ok {
+		t.Error("bundled ramp50 schedule missing")
+	}
+
+	cfg := Config{Device: TeslaK40c, BatchSchedule: BatchSchedule{8, 16}, AdaptivePlan: true}
+	cfg.UseMemPool = true
+	cfg.Liveness = true
+	r, err := RunDynamic("AlexNet", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Iters) != 2 || r.Iters[0].Batch != 8 || r.Iters[1].Batch != 16 {
+		t.Errorf("dynamic run iterations %+v", r.Iters)
+	}
+	if r.Network != "AlexNet" || r.OOMFailures != 0 {
+		t.Errorf("unexpected result: network %q, %d failures", r.Network, r.OOMFailures)
+	}
+
+	if _, err := RunDynamic("NoSuchNet", cfg); err == nil {
+		t.Error("unknown network accepted")
+	}
+
+	jobs := DynamicClusterTrace()
+	if len(jobs) == 0 {
+		t.Fatal("dynamic cluster trace empty")
+	}
+	dynamic := 0
+	for _, j := range jobs {
+		if len(j.BatchSchedule) > 1 {
+			dynamic++
+		}
+	}
+	if dynamic == 0 {
+		t.Error("dynamic cluster trace has no dynamic jobs")
+	}
+}
