@@ -1,0 +1,209 @@
+// Command snbench is the benchmark-baseline pipeline behind CI's
+// bench-baseline job: it turns `go test -bench` output into a stable
+// JSON summary and gates a new summary against a committed baseline.
+//
+//	go test -run '^$' -bench <regex> -benchtime=1x -count=3 . | snbench parse > BENCH_new.json
+//	snbench compare [-tolerance 0.25] BENCH_baseline.json BENCH_new.json
+//
+// parse keeps, per benchmark, the MINIMUM ns/op across the -count
+// repetitions — the least-noise estimator for a deterministic
+// simulation workload — plus the repetition count.
+//
+// compare fails (exit 1) when any baseline benchmark is missing from
+// the new summary or slower than baseline by more than the tolerance
+// (default 0.25 = +25% ns/op). Benchmarks where both sides run under
+// the floor (-floor, default 10µs) are reported but not gated: at that
+// scale timer jitter, not code, decides the ratio. Benchmarks new in
+// this run are reported and pass.
+//
+// To refresh the committed baseline after an intentional perf change:
+//
+//	go test -run '^$' -bench <regex> -benchtime=1x -count=3 . | snbench parse > BENCH_baseline.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/metrics"
+)
+
+// Summary is the JSON artifact: one entry per benchmark.
+type Summary struct {
+	Schema     int                  `json:"schema"`
+	Benchmarks map[string]BenchStat `json:"benchmarks"`
+}
+
+// BenchStat summarizes one benchmark across -count repetitions.
+type BenchStat struct {
+	// NsPerOp is the minimum ns/op observed.
+	NsPerOp float64 `json:"ns_per_op"`
+	// Runs is how many repetitions were folded in.
+	Runs int `json:"runs"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("snbench: ")
+	if len(os.Args) < 2 {
+		log.Fatal("usage: snbench parse < bench-output | snbench compare [-tolerance f] [-floor ns] baseline.json new.json")
+	}
+	switch os.Args[1] {
+	case "parse":
+		sum, err := parseBench(os.Stdin)
+		if err != nil {
+			log.Fatal(err)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(sum); err != nil {
+			log.Fatal(err)
+		}
+	case "compare":
+		fs := flag.NewFlagSet("compare", flag.ExitOnError)
+		tolerance := fs.Float64("tolerance", 0.25, "allowed ns/op regression fraction (0.25 = +25%)")
+		floor := fs.Float64("floor", 10_000, "ns/op below which a benchmark is reported but not gated")
+		_ = fs.Parse(os.Args[2:])
+		if fs.NArg() != 2 {
+			log.Fatal("usage: snbench compare [-tolerance f] [-floor ns] baseline.json new.json")
+		}
+		base, err := readSummary(fs.Arg(0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		cur, err := readSummary(fs.Arg(1))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := compare(base, cur, *tolerance, *floor, os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		log.Fatalf("unknown subcommand %q (have parse, compare)", os.Args[1])
+	}
+}
+
+// benchLine matches one `go test -bench` result line, e.g.
+//
+//	BenchmarkMultiTenantSchedulers/fifo-8   1   53170531 ns/op
+//
+// capturing the name (GOMAXPROCS suffix stripped) and ns/op.
+var benchLine = regexp.MustCompile(`^(Benchmark\S*?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+// parseBench folds `go test -bench` output into a Summary, keeping
+// the minimum ns/op per benchmark across repetitions.
+func parseBench(r io.Reader) (*Summary, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	sum := &Summary{Schema: 1, Benchmarks: map[string]BenchStat{}}
+	for _, line := range regexp.MustCompile(`\r?\n`).Split(string(data), -1) {
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("snbench: bad ns/op in %q: %v", line, err)
+		}
+		st, seen := sum.Benchmarks[m[1]]
+		if !seen || ns < st.NsPerOp {
+			st.NsPerOp = ns
+		}
+		st.Runs++
+		sum.Benchmarks[m[1]] = st
+	}
+	if len(sum.Benchmarks) == 0 {
+		return nil, fmt.Errorf("snbench: no benchmark lines found in input")
+	}
+	return sum, nil
+}
+
+func readSummary(path string) (*Summary, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Summary
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("snbench: %s: %v", path, err)
+	}
+	if s.Benchmarks == nil {
+		return nil, fmt.Errorf("snbench: %s: no benchmarks", path)
+	}
+	return &s, nil
+}
+
+// compare renders the baseline-vs-new table and returns an error
+// naming every gated regression or missing benchmark.
+func compare(base, cur *Summary, tolerance, floor float64, w io.Writer) error {
+	names := make([]string, 0, len(base.Benchmarks))
+	for n := range base.Benchmarks {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	var failures []string
+	t := metrics.NewTable(fmt.Sprintf("benchmark gate (tolerance +%.0f%%, floor %s)",
+		100*tolerance, fmtNs(floor)),
+		"benchmark", "baseline", "new", "ratio", "verdict")
+	for _, n := range names {
+		b := base.Benchmarks[n]
+		c, ok := cur.Benchmarks[n]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: missing from new run", n))
+			t.Add(n, fmtNs(b.NsPerOp), "-", "-", "MISSING")
+			continue
+		}
+		ratio := c.NsPerOp / b.NsPerOp
+		verdict := "ok"
+		switch {
+		case b.NsPerOp < floor && c.NsPerOp < floor:
+			verdict = "ok (under floor)"
+		case ratio > 1+tolerance:
+			verdict = "REGRESSION"
+			failures = append(failures, fmt.Sprintf("%s: %s -> %s (%.2fx > %.2fx allowed)",
+				n, fmtNs(b.NsPerOp), fmtNs(c.NsPerOp), ratio, 1+tolerance))
+		}
+		t.Add(n, fmtNs(b.NsPerOp), fmtNs(c.NsPerOp), fmt.Sprintf("%.2f", ratio), verdict)
+	}
+	extra := make([]string, 0, len(cur.Benchmarks))
+	for n := range cur.Benchmarks {
+		if _, ok := base.Benchmarks[n]; !ok {
+			extra = append(extra, n)
+		}
+	}
+	sort.Strings(extra)
+	for _, n := range extra {
+		t.Add(n, "-", fmtNs(cur.Benchmarks[n].NsPerOp), "-", "new (no baseline)")
+	}
+	fmt.Fprintln(w, t.String())
+	if len(failures) > 0 {
+		return fmt.Errorf("benchmark gate failed:\n  %s", strings.Join(failures, "\n  "))
+	}
+	fmt.Fprintf(w, "gate passed: %d benchmarks within +%.0f%% of baseline\n", len(names), 100*tolerance)
+	return nil
+}
+
+// fmtNs renders ns/op with an adaptive unit.
+func fmtNs(ns float64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", ns/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.2fus", ns/1e3)
+	default:
+		return fmt.Sprintf("%.0fns", ns)
+	}
+}

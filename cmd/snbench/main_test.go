@@ -1,0 +1,151 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkMultiTenantSchedulers/fifo-8         	       1	  53170531 ns/op
+BenchmarkMultiTenantSchedulers/fifo-8         	       1	  41000000 ns/op
+BenchmarkMultiTenantSchedulers/fifo-8         	       1	  47000000 ns/op
+BenchmarkServeThroughput-8                    	       1	   2487912 ns/op	 1614 req/s
+BenchmarkServeThroughput-8                    	       1	   2600000 ns/op	 1500 req/s
+PASS
+ok  	repro	1.013s
+`
+
+func TestParseBenchKeepsMinAcrossRuns(t *testing.T) {
+	sum, err := parseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fifo, ok := sum.Benchmarks["BenchmarkMultiTenantSchedulers/fifo"]
+	if !ok {
+		t.Fatalf("fifo benchmark missing: %v", sum.Benchmarks)
+	}
+	if fifo.NsPerOp != 41000000 || fifo.Runs != 3 {
+		t.Errorf("fifo = %+v, want min 41000000 over 3 runs", fifo)
+	}
+	st, ok := sum.Benchmarks["BenchmarkServeThroughput"]
+	if !ok || st.NsPerOp != 2487912 || st.Runs != 2 {
+		t.Errorf("serve = %+v (ok=%v), want min 2487912 over 2 runs", st, ok)
+	}
+}
+
+func TestParseBenchRejectsEmptyInput(t *testing.T) {
+	if _, err := parseBench(strings.NewReader("PASS\nok repro 0.1s\n")); err == nil {
+		t.Error("input without benchmark lines accepted")
+	}
+}
+
+func sum(pairs map[string]float64) *Summary {
+	s := &Summary{Schema: 1, Benchmarks: map[string]BenchStat{}}
+	for n, ns := range pairs {
+		s.Benchmarks[n] = BenchStat{NsPerOp: ns, Runs: 3}
+	}
+	return s
+}
+
+func TestCompareWithinTolerancePasses(t *testing.T) {
+	base := sum(map[string]float64{"BenchmarkA": 1e6, "BenchmarkB": 2e6})
+	cur := sum(map[string]float64{"BenchmarkA": 1.2e6, "BenchmarkB": 1.8e6, "BenchmarkNew": 5e6})
+	var out bytes.Buffer
+	if err := compare(base, cur, 0.25, 10_000, &out); err != nil {
+		t.Fatalf("compare failed within tolerance: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{"gate passed", "new (no baseline)"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestCompareFlagsRegression(t *testing.T) {
+	base := sum(map[string]float64{"BenchmarkA": 1e6})
+	cur := sum(map[string]float64{"BenchmarkA": 1.3e6})
+	var out bytes.Buffer
+	err := compare(base, cur, 0.25, 10_000, &out)
+	if err == nil || !strings.Contains(err.Error(), "BenchmarkA") {
+		t.Fatalf("30%% regression passed the 25%% gate: %v", err)
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Errorf("table missing REGRESSION verdict:\n%s", out.String())
+	}
+}
+
+func TestCompareFlagsMissingBenchmark(t *testing.T) {
+	base := sum(map[string]float64{"BenchmarkA": 1e6, "BenchmarkGone": 1e6})
+	cur := sum(map[string]float64{"BenchmarkA": 1e6})
+	var out bytes.Buffer
+	err := compare(base, cur, 0.25, 10_000, &out)
+	if err == nil || !strings.Contains(err.Error(), "BenchmarkGone") {
+		t.Fatalf("missing benchmark passed the gate: %v", err)
+	}
+}
+
+func TestReadSummaryRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "s.json")
+	want := sum(map[string]float64{"BenchmarkA": 1e6})
+	data, _ := json.Marshal(want)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readSummary(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Benchmarks["BenchmarkA"].NsPerOp != 1e6 {
+		t.Errorf("round trip = %+v", got)
+	}
+	if _, err := readSummary(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	_ = os.WriteFile(bad, []byte("{"), 0o644)
+	if _, err := readSummary(bad); err == nil {
+		t.Error("unparseable summary accepted")
+	}
+	empty := filepath.Join(dir, "empty.json")
+	_ = os.WriteFile(empty, []byte("{}"), 0o644)
+	if _, err := readSummary(empty); err == nil {
+		t.Error("summary without benchmarks accepted")
+	}
+}
+
+func TestFmtNsUnits(t *testing.T) {
+	cases := map[float64]string{
+		500:   "500ns",
+		2_500: "2.50us",
+		3e6:   "3.00ms",
+		1.5e9: "1.50s",
+		41e6:  "41.00ms",
+	}
+	for ns, want := range cases {
+		if got := fmtNs(ns); got != want {
+			t.Errorf("fmtNs(%g) = %q, want %q", ns, got, want)
+		}
+	}
+}
+
+// Sub-floor noise is reported but never gated: a 3x ratio between two
+// nanosecond-scale timings is timer jitter, not a regression.
+func TestCompareFloorExemptsNoise(t *testing.T) {
+	base := sum(map[string]float64{"BenchmarkTiny": 200})
+	cur := sum(map[string]float64{"BenchmarkTiny": 600})
+	var out bytes.Buffer
+	if err := compare(base, cur, 0.25, 10_000, &out); err != nil {
+		t.Fatalf("sub-floor ratio gated: %v", err)
+	}
+	if !strings.Contains(out.String(), "under floor") {
+		t.Errorf("floor verdict missing:\n%s", out.String())
+	}
+}

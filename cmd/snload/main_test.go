@@ -1,0 +1,49 @@
+package main
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/sched"
+	"repro/internal/serve"
+)
+
+func startService(t *testing.T) string {
+	t.Helper()
+	svc, err := serve.New(serve.Config{
+		Cluster: sched.Cluster{Device: hw.TeslaK40c, Devices: 2},
+		Policy:  sched.Packing,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(ts.Close)
+	return ts.URL
+}
+
+func TestLoadRunAgainstService(t *testing.T) {
+	addr := startService(t)
+	var out bytes.Buffer
+	o := options{addr: addr, clients: 2, jobs: 3, retries: 50, templates: "dynamic", drain: true}
+	if err := run(o, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"load run: 2 clients x 3 jobs", "drained: 6 jobs", "req/s"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestLoadRejectsBadFlags(t *testing.T) {
+	if err := run(options{addr: "http://127.0.0.1:1", templates: "nope"}, &bytes.Buffer{}); err == nil {
+		t.Error("unknown template set accepted")
+	}
+	if err := run(options{addr: "http://127.0.0.1:1", templates: "mixed"}, &bytes.Buffer{}); err == nil {
+		t.Error("unreachable service accepted")
+	}
+}

@@ -84,8 +84,10 @@ func run(o options, w io.Writer) error {
 			return err
 		}
 		defer f.Close()
+		// A malformed trace is a user error: fail with the file and the
+		// offending line (ParseTrace names it), never a bare message.
 		if trace, err = workload.ParseTrace(f); err != nil {
-			return err
+			return fmt.Errorf("%s: %w", o.tracePath, err)
 		}
 	}
 
@@ -143,10 +145,7 @@ func render(w io.Writer, r *sched.Result) {
 		if mgr == "" {
 			mgr = "-"
 		}
-		batch := fmt.Sprint(j.Batch)
-		if len(j.BatchSchedule) > 1 {
-			batch = workload.Schedule(j.BatchSchedule).String()
-		}
+		batch := workload.BatchLabel(j.Batch, j.BatchSchedule)
 		if j.Rejected {
 			jt.Add(j.ID, j.Network, batch, mgr, fmt.Sprint(j.Priority),
 				"-", ms(int64(j.Arrival)), "-", "rejected", "-")

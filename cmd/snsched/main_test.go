@@ -52,6 +52,51 @@ func TestTraceFileMatchesBundled(t *testing.T) {
 	}
 }
 
+// Malformed trace files fail with the file name and the offending
+// line number, not a bare error (main exits non-zero via log.Fatal).
+func TestMalformedTraceNamesOffendingLine(t *testing.T) {
+	header := "# id arrival_ms network batch manager priority iterations\n"
+	ok := "good 0 AlexNet 16 naive 1 1\n"
+	cases := []struct {
+		name     string
+		trace    string
+		wantLine string
+	}{
+		{"missing fields", header + ok + "bad 100 AlexNet 16 naive 1\n", "line 3"},
+		{"extra fields", header + ok + "bad 100 AlexNet 16 naive 1 1 1\n", "line 3"},
+		{"bad arrival", header + "bad x AlexNet 16 naive 1 1\n", "line 2"},
+		{"negative arrival", header + "bad -5 AlexNet 16 naive 1 1\n", "line 2"},
+		{"bad batch", header + ok + ok2("bad", "100", "AlexNet", "zero", "naive", "1", "1"), "line 3"},
+		{"zero batch", header + ok2("bad", "100", "AlexNet", "0", "naive", "1", "1"), "line 2"},
+		{"bad schedule repeat", header + ok2("bad", "100", "AlexNet", "16x0", "naive", "1", "1"), "line 2"},
+		{"bad priority", header + ok2("bad", "100", "AlexNet", "16", "naive", "high", "1"), "line 2"},
+		{"bad iterations", header + ok2("bad", "100", "AlexNet", "16", "naive", "1", "none"), "line 2"},
+		{"zero iterations", header + ok2("bad", "100", "AlexNet", "16", "naive", "1", "0"), "line 2"},
+		{"duplicate id", header + ok + "\n# comment\n" + ok, "line 5"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "bad.trace")
+			if err := os.WriteFile(path, []byte(c.trace), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			err := run(options{tracePath: path, devices: 2, device: "k40c", policyArg: "packing"}, &bytes.Buffer{})
+			if err == nil {
+				t.Fatal("malformed trace accepted")
+			}
+			if !strings.Contains(err.Error(), c.wantLine) {
+				t.Errorf("error %q does not name the offending %s", err, c.wantLine)
+			}
+			if !strings.Contains(err.Error(), path) {
+				t.Errorf("error %q does not name the trace file", err)
+			}
+		})
+	}
+}
+
+// ok2 builds one trace line from its seven fields.
+func ok2(f ...string) string { return strings.Join(f, " ") + "\n" }
+
 func TestRunRejectsBadFlags(t *testing.T) {
 	if err := run(options{devices: 2, device: "nope", policyArg: "all"}, &bytes.Buffer{}); err == nil {
 		t.Error("unknown device accepted")

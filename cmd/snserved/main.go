@@ -1,0 +1,205 @@
+// Command snserved runs the concurrent job-submission service over a
+// simulated GPU cluster: the long-lived entry point that turns the
+// trace-replay scheduler (cmd/snsched) into an HTTP service accepting
+// training-job requests from many tenants at once.
+//
+// The service records every admitted job in a deterministic request
+// log (a workload trace); replaying that log with
+// "snsched -trace <file>" reproduces every per-job result
+// byte-identically. On SIGINT/SIGTERM — or, with -exit-after-drain,
+// on a POST /v1/drain — the service drains its admission queue,
+// prints the final schedule, and exits cleanly.
+//
+// Usage:
+//
+//	snserved                                  # 2x K40c, packing policy, :8080
+//	snserved -addr 127.0.0.1:9090 -policy priority -devices 4
+//	snserved -log requests.trace              # persist the replayable log
+//	snserved -exit-after-drain                # exit after an API drain (CI smoke)
+//
+// The API (all JSON unless noted):
+//
+//	POST /v1/jobs        {"tenant","id","network","batch","schedule","manager","priority","iterations"}
+//	GET  /v1/jobs        list all jobs
+//	GET  /v1/jobs/{id}   one job's status and projected schedule
+//	GET  /v1/metrics     cluster snapshot (?wait_jobs=N&wait_ms=M long-polls)
+//	POST /v1/drain       stop admission, flush, return the final schedule
+//	GET  /v1/replay-log  the deterministic request log (text/plain)
+//	GET  /v1/healthz     liveness
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/hw"
+	"repro/internal/metrics"
+	"repro/internal/sched"
+	"repro/internal/serve"
+	"repro/internal/workload"
+)
+
+type options struct {
+	addr           string
+	device         string
+	devices        int
+	policyArg      string
+	queue          int
+	quota          int
+	spacingMS      int64
+	logPath        string
+	exitAfterDrain bool
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("snserved: ")
+	var o options
+	flag.StringVar(&o.addr, "addr", "127.0.0.1:8080", "listen address")
+	flag.StringVar(&o.device, "device", "k40c", "device profile: k40c or titanxp")
+	flag.IntVar(&o.devices, "devices", 2, "number of GPUs in the cluster")
+	flag.StringVar(&o.policyArg, "policy", "packing", "scheduler policy: fifo, priority or packing")
+	flag.IntVar(&o.queue, "queue", serve.DefaultQueueDepth, "bounded admission queue depth")
+	flag.IntVar(&o.quota, "tenant-quota", 0, "max jobs per tenant over the service lifetime (0 = unlimited)")
+	flag.Int64Var(&o.spacingMS, "spacing", 1, "virtual arrival gap between sequenced jobs (ms)")
+	flag.StringVar(&o.logPath, "log", "", "write the deterministic request log to this file")
+	flag.BoolVar(&o.exitAfterDrain, "exit-after-drain", false, "exit cleanly once a POST /v1/drain completes")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, o, nil, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run starts the service, reports its bound address on ready (when
+// non-nil), and serves until the context is canceled or — with
+// exit-after-drain — the service is drained via the API. It always
+// drains before returning and prints the final schedule to w.
+func run(ctx context.Context, o options, ready chan<- string, w io.Writer) error {
+	var dev hw.DeviceSpec
+	switch strings.ToLower(o.device) {
+	case "k40c":
+		dev = hw.TeslaK40c
+	case "titanxp":
+		dev = hw.TitanXP
+	default:
+		return fmt.Errorf("unknown device %q (have k40c, titanxp)", o.device)
+	}
+	pol, ok := sched.PolicyByName(o.policyArg)
+	if !ok {
+		return fmt.Errorf("unknown policy %q (have fifo, priority, packing)", o.policyArg)
+	}
+
+	cfg := serve.Config{
+		Cluster:     sched.Cluster{Device: dev, Devices: o.devices},
+		Policy:      pol,
+		QueueDepth:  o.queue,
+		TenantQuota: o.quota,
+		SpacingMS:   o.spacingMS,
+	}
+	var logFile *os.File
+	if o.logPath != "" {
+		f, err := os.Create(o.logPath)
+		if err != nil {
+			return err
+		}
+		logFile = f
+		cfg.RequestLog = f
+	}
+
+	svc, err := serve.New(cfg)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		return err
+	}
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+	fmt.Fprintf(w, "snserved: listening on %s — %d x %s (%.2f GiB usable each), policy %s, queue %d\n",
+		ln.Addr(), o.devices, dev.Name, float64(dev.UsableBytes)/(1<<30), pol.Name, cfg.QueueDepth)
+
+	server := &http.Server{Handler: svc.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- server.Serve(ln) }()
+
+	select {
+	case <-ctx.Done():
+	case err := <-serveErr:
+		return err
+	case <-drainedOrNever(svc, o.exitAfterDrain):
+	}
+
+	res, err := svc.Drain()
+	if err != nil {
+		return err
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := server.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	summary(w, res)
+	if logFile != nil {
+		if err := logFile.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "request log: %s (replay with: snsched -trace %s)\n", o.logPath, o.logPath)
+	}
+	return nil
+}
+
+// drainedOrNever returns the service's drain signal, or a channel that
+// never fires when exit-after-drain is off.
+func drainedOrNever(svc *serve.Service, exitAfterDrain bool) <-chan struct{} {
+	if exitAfterDrain {
+		return svc.Drained()
+	}
+	return make(chan struct{})
+}
+
+// summary prints the final schedule: per-job outcomes and per-device
+// utilization, the same numbers a replay of the request log produces.
+func summary(w io.Writer, res *sched.Result) {
+	rejected := 0
+	jt := metrics.NewTable(fmt.Sprintf("final schedule (policy %s): per-job results", res.Policy),
+		"job", "network", "batch", "prio", "gpu", "arrival", "wait", "jct", "preempt")
+	for _, j := range res.Jobs {
+		batch := workload.BatchLabel(j.Batch, j.BatchSchedule)
+		if j.Rejected {
+			rejected++
+			jt.Add(j.ID, j.Network, batch, fmt.Sprint(j.Priority), "-",
+				fmt.Sprintf("%dms", int64(j.Arrival)/1e6), "-", "rejected", "-")
+			continue
+		}
+		jt.Add(j.ID, j.Network, batch, fmt.Sprint(j.Priority), fmt.Sprint(j.Device),
+			fmt.Sprintf("%dms", int64(j.Arrival)/1e6), j.Wait.String(), j.JCT.String(),
+			fmt.Sprint(j.Preemptions))
+	}
+	fmt.Fprintln(w, jt.String())
+
+	dt := metrics.NewTable("per-device utilization",
+		"gpu", "busy", "busy%", "peak reserved MiB", "mem util%", "iterations")
+	for i, d := range res.Devices {
+		dt.Add(fmt.Sprint(i), d.Busy.String(), fmt.Sprintf("%.1f", 100*d.BusyFrac),
+			metrics.MiB(d.PeakReserved), fmt.Sprintf("%.1f", 100*d.MemUtil), fmt.Sprint(d.Iterations))
+	}
+	fmt.Fprintln(w, dt.String())
+
+	fmt.Fprintf(w, "drained: %d jobs (%d rejected), makespan %v, cluster mem util %.1f%%, compute util %.1f%%\n",
+		len(res.Jobs), rejected, res.Makespan, 100*res.Utilization, 100*res.ComputeUtilization)
+}

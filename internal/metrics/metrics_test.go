@@ -51,6 +51,49 @@ func TestByteFormats(t *testing.T) {
 	}
 }
 
+// Rows wider than the header still render, padding the header.
+func TestTableRowsWiderThanHeader(t *testing.T) {
+	tb := NewTable("", "a")
+	tb.Add("1", "2", "3")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	if !strings.Contains(lines[2], "3") {
+		t.Errorf("extra cell dropped: %q", out)
+	}
+}
+
+// CSV surfaces writer errors instead of swallowing them.
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errShort }
+
+var errShort = &shortErr{}
+
+type shortErr struct{}
+
+func (*shortErr) Error() string { return "short write" }
+
+func TestCSVPropagatesWriteError(t *testing.T) {
+	tb := NewTable("", "a")
+	tb.Add("1")
+	if err := tb.CSV(failWriter{}); err == nil {
+		t.Error("CSV ignored the writer error")
+	}
+}
+
+func TestBarsUntitled(t *testing.T) {
+	out := Bars("", []string{"a"}, []float64{3}, 4)
+	if strings.HasPrefix(out, "\n") {
+		t.Errorf("untitled bars start with a blank line: %q", out)
+	}
+	if !strings.Contains(out, "####") {
+		t.Errorf("full-scale bar missing: %q", out)
+	}
+}
+
 func TestChartContainsAllSeries(t *testing.T) {
 	s := []Series{
 		{Name: "up", X: []float64{0, 1, 2}, Y: []float64{0, 1, 2}},

@@ -1,0 +1,186 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// LoadConfig drives RunLoad: N concurrent clients submitting jobs from
+// a template set against one service.
+type LoadConfig struct {
+	// Target is the service under load.
+	Target *Client
+	// Clients is the number of concurrent submitters (default 4); each
+	// submits as its own tenant ("client00", "client01", ...).
+	Clients int
+	// JobsPerClient is each client's submission count (default 8).
+	JobsPerClient int
+	// Templates supplies the job shapes, cycled per client with an
+	// offset so tenants mix shapes; nil means the bundled static +
+	// dynamic traces.
+	Templates []workload.TraceJob
+	// SubmitRetries retries a queue-full submission after RetryDelay
+	// (defaults 50 × 2ms) — backpressure, not failure.
+	SubmitRetries int
+	RetryDelay    time.Duration
+	// Drain drains the service after all submissions.
+	Drain bool
+}
+
+// LoadReport is RunLoad's outcome: counts, wall-clock throughput and
+// submission latency percentiles.
+type LoadReport struct {
+	Submitted   int // successful submissions
+	QueueFull   int // queue-full responses absorbed by retries
+	QuotaDenied int // submissions refused by tenant quota
+	Failed      int // submissions lost after retries or on other errors
+
+	Elapsed    time.Duration
+	Throughput float64 // successful submissions per wall-clock second
+
+	P50, P90, P99, Max time.Duration // submission latency
+
+	// Drained holds the drain summary when LoadConfig.Drain is set.
+	Drained *DrainSummary
+}
+
+// DefaultTemplates returns the bundled static and dynamic traces as a
+// single template set — every shape the evaluation traces exercise,
+// including the deliberately oversized job the scheduler must reject.
+func DefaultTemplates() []workload.TraceJob {
+	return append(workload.DefaultTrace(), workload.DefaultDynamicTrace()...)
+}
+
+// RunLoad fires cfg.Clients concurrent clients at the target and
+// aggregates their outcomes. The template cycle is deterministic per
+// client, so two equal-config runs submit the same job population
+// (the sequenced order — and thus the request log — still depends on
+// arrival interleaving; determinism of results given the log is the
+// service's job).
+func RunLoad(cfg LoadConfig) (*LoadReport, error) {
+	if cfg.Target == nil {
+		return nil, fmt.Errorf("serve: loadgen needs a target client")
+	}
+	if cfg.Clients <= 0 {
+		cfg.Clients = 4
+	}
+	if cfg.JobsPerClient <= 0 {
+		cfg.JobsPerClient = 8
+	}
+	if cfg.Templates == nil {
+		cfg.Templates = DefaultTemplates()
+	}
+	if cfg.SubmitRetries <= 0 {
+		cfg.SubmitRetries = 50
+	}
+	if cfg.RetryDelay <= 0 {
+		cfg.RetryDelay = 2 * time.Millisecond
+	}
+
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		rep       LoadReport
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for ci := 0; ci < cfg.Clients; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			tenant := fmt.Sprintf("client%02d", ci)
+			for k := 0; k < cfg.JobsPerClient; k++ {
+				tpl := cfg.Templates[(ci+k)%len(cfg.Templates)]
+				req := SubmitRequest{
+					Tenant:     tenant,
+					ID:         fmt.Sprintf("j%03d", k),
+					Network:    tpl.Network,
+					Batch:      tpl.Batch,
+					Manager:    tpl.Manager,
+					Priority:   tpl.Priority,
+					Iterations: tpl.Iterations,
+				}
+				if len(tpl.BatchSchedule) > 1 {
+					req.Schedule = tpl.BatchSchedule.String()
+					req.Batch = 0
+				}
+				lat, kind, full := submitWithRetry(cfg, req)
+				mu.Lock()
+				switch kind {
+				case submitOK:
+					rep.Submitted++
+					latencies = append(latencies, lat)
+				case submitQuota:
+					rep.QuotaDenied++
+				case submitFailed:
+					rep.Failed++
+				}
+				rep.QueueFull += full
+				mu.Unlock()
+			}
+		}(ci)
+	}
+	wg.Wait()
+	rep.Elapsed = time.Since(start)
+	if rep.Elapsed > 0 {
+		rep.Throughput = float64(rep.Submitted) / rep.Elapsed.Seconds()
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	rep.P50 = percentile(latencies, 0.50)
+	rep.P90 = percentile(latencies, 0.90)
+	rep.P99 = percentile(latencies, 0.99)
+	if n := len(latencies); n > 0 {
+		rep.Max = latencies[n-1]
+	}
+	if cfg.Drain {
+		d, err := cfg.Target.Drain()
+		if err != nil {
+			return &rep, fmt.Errorf("serve: loadgen drain: %w", err)
+		}
+		rep.Drained = d
+	}
+	return &rep, nil
+}
+
+// Outcomes of one submission attempt sequence.
+const (
+	submitOK = iota
+	submitQuota
+	submitFailed
+)
+
+// submitWithRetry submits one job, absorbing queue-full backpressure.
+// It returns the last attempt's latency, the outcome, and how many
+// queue-full responses were absorbed.
+func submitWithRetry(cfg LoadConfig, req SubmitRequest) (time.Duration, int, int) {
+	full := 0
+	for attempt := 0; ; attempt++ {
+		t0 := time.Now()
+		_, err := cfg.Target.Submit(req)
+		lat := time.Since(t0)
+		switch {
+		case err == nil:
+			return lat, submitOK, full
+		case errors.Is(err, ErrQuota):
+			return lat, submitQuota, full
+		case errors.Is(err, ErrQueueFull) && attempt < cfg.SubmitRetries:
+			full++
+			time.Sleep(cfg.RetryDelay)
+		default:
+			return lat, submitFailed, full
+		}
+	}
+}
+
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}

@@ -1,0 +1,626 @@
+// Package serve is the long-running job-submission service over the
+// multi-tenant cluster scheduler: the piece that turns the batch-replay
+// evaluation harness (internal/sched, cmd/snsched) into a system that
+// accepts training-job requests concurrently, the way the paper's
+// runtime is meant to be consumed by a fleet of users.
+//
+// The design splits the service into a concurrent edge and a
+// deterministic core:
+//
+//   - Concurrency at the edge. Submit may be called from any number of
+//     goroutines (the HTTP handlers do). Each accepted request lands in
+//     a bounded per-tenant admission queue; a single sequencer drains
+//     the queues round-robin across tenants, so no tenant can starve
+//     the others by flooding the queue (fairness), and no tenant can
+//     exceed its lifetime quota (admission control above the
+//     scheduler's own memory-based admission).
+//   - Determinism at the core. The sequencer collapses all wall-clock
+//     nondeterminism into one total order: the i-th sequenced job gets
+//     the deterministic virtual arrival i·spacing ms and is appended to
+//     the request log, which is exactly a workload trace
+//     (workload.FormatTrace bytes). Everything the service reports —
+//     job status, cluster metrics, the drain summary — is a pure
+//     function of that log, computed by replaying it through the same
+//     sched.Scheduler that cmd/snsched uses. Re-running a day of
+//     logged traffic therefore reproduces every per-job result
+//     byte-identically.
+//
+// Because the cluster runs in virtual time, a "status" query returns
+// the projected schedule of the job given the traffic admitted so far;
+// later arrivals may still preempt it (exactly as in the batch
+// replay), and the drain summary is the final word.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// DefaultQueueDepth bounds the admission queue when Config leaves it 0.
+const DefaultQueueDepth = 256
+
+// Sentinel errors of the submission path; the HTTP layer maps each to
+// a status code.
+var (
+	// ErrQueueFull: the bounded admission queue is at capacity.
+	ErrQueueFull = errors.New("serve: admission queue full")
+	// ErrQuota: the tenant used up its lifetime job quota.
+	ErrQuota = errors.New("serve: tenant quota exhausted")
+	// ErrDraining: the service no longer accepts jobs.
+	ErrDraining = errors.New("serve: service is draining")
+	// ErrDuplicateID: the (tenant, id) pair was already submitted.
+	ErrDuplicateID = errors.New("serve: duplicate job id")
+	// ErrBadRequest: the request is malformed (unknown network, bad
+	// batch/schedule, unknown manager, illegal characters).
+	ErrBadRequest = errors.New("serve: invalid request")
+	// ErrUnknownJob: no job with that id.
+	ErrUnknownJob = errors.New("serve: unknown job")
+)
+
+// Config parameterizes a Service.
+type Config struct {
+	// Cluster is the simulated GPU pool jobs are scheduled onto.
+	Cluster sched.Cluster
+	// Policy is the scheduler policy (default sched.Packing).
+	Policy sched.Policy
+	// QueueDepth bounds the admission queue: the total number of
+	// accepted-but-not-yet-sequenced jobs across all tenants. Submit
+	// fails with ErrQueueFull beyond it. 0 means DefaultQueueDepth.
+	QueueDepth int
+	// TenantQuota caps the number of jobs one tenant may submit over
+	// the service lifetime; 0 means unlimited.
+	TenantQuota int
+	// SpacingMS is the virtual arrival gap between consecutively
+	// sequenced jobs (default 1 ms): the i-th job in the request log
+	// arrives at i·SpacingMS.
+	SpacingMS int64
+	// RequestLog, when non-nil, receives the deterministic request log
+	// incrementally: the workload trace header at construction, then
+	// one trace line per sequenced job. The accumulated bytes are at
+	// every instant a valid workload trace equal to ReplayLog().
+	RequestLog io.Writer
+	// Manual disables the background sequencer goroutine; callers
+	// step admission explicitly with Advance (tests do, to observe
+	// fairness deterministically).
+	Manual bool
+}
+
+// JobState is the lifecycle state of a submitted job.
+type JobState string
+
+const (
+	// StateQueued: accepted into the admission queue, not yet
+	// sequenced into the request log.
+	StateQueued JobState = "queued"
+	// StateScheduled: sequenced and placed by the scheduler; Result
+	// holds the projected schedule.
+	StateScheduled JobState = "scheduled"
+	// StateRejected: sequenced but rejected by admission control (the
+	// job cannot fit any device).
+	StateRejected JobState = "rejected"
+)
+
+// SubmitRequest is one training-job submission.
+type SubmitRequest struct {
+	// Tenant namespaces the job; empty means "anon". Tenants share the
+	// cluster under the round-robin fairness and quota rules.
+	Tenant string `json:"tenant,omitempty"`
+	// ID names the job within the tenant; empty auto-assigns one. The
+	// full job id is "tenant/id".
+	ID string `json:"id,omitempty"`
+	// Network and Batch select the model shape (see
+	// superneurons.Networks).
+	Network string `json:"network"`
+	Batch   int    `json:"batch,omitempty"`
+	// Schedule, when non-empty, declares a dynamic per-iteration batch
+	// schedule in the compact trace syntax ("16x2,32"); it overrides
+	// Batch.
+	Schedule string `json:"schedule,omitempty"`
+	// Manager names the memory manager (empty: the default).
+	Manager string `json:"manager,omitempty"`
+	// Priority orders jobs under the priority policy.
+	Priority int `json:"priority,omitempty"`
+	// Iterations is the training length (default 1).
+	Iterations int `json:"iterations,omitempty"`
+}
+
+// JobStatus is the service's view of one job.
+type JobStatus struct {
+	ID     string   `json:"id"`
+	Tenant string   `json:"tenant"`
+	State  JobState `json:"state"`
+	// QueuePosition is the 1-based position in the tenant's admission
+	// queue while queued.
+	QueuePosition int `json:"queue_position,omitempty"`
+	// Seq is the position in the request log once sequenced (-1 while
+	// queued); ArrivalMS is the deterministic virtual arrival.
+	Seq       int   `json:"seq"`
+	ArrivalMS int64 `json:"arrival_ms"`
+	// Reason explains a rejection.
+	Reason string `json:"reason,omitempty"`
+	// Result is the projected schedule of a sequenced job, replayed
+	// from the request log.
+	Result *sched.JobResult `json:"result,omitempty"`
+}
+
+// TenantStat aggregates one tenant in Metrics.
+type TenantStat struct {
+	// Accepted is the lifetime count (queued + sequenced) the quota
+	// applies to.
+	Accepted  int `json:"accepted"`
+	Queued    int `json:"queued"`
+	Sequenced int `json:"sequenced"`
+}
+
+// Metrics is a point-in-time cluster snapshot, computed by replaying
+// the current request log.
+type Metrics struct {
+	Policy   string `json:"policy"`
+	Device   string `json:"device"`
+	Devices  int    `json:"devices"`
+	Capacity int64  `json:"capacity_bytes"`
+
+	JobsAccepted  int  `json:"jobs_accepted"`
+	JobsQueued    int  `json:"jobs_queued"`
+	JobsSequenced int  `json:"jobs_sequenced"`
+	JobsRejected  int  `json:"jobs_rejected"`
+	Draining      bool `json:"draining"`
+	// EstimatedShapes counts memoized dry-run shapes in the admission
+	// estimator.
+	EstimatedShapes int                   `json:"estimated_shapes"`
+	Tenants         map[string]TenantStat `json:"tenants"`
+
+	Makespan           sim.Duration       `json:"makespan_ns"`
+	MeanJCT            sim.Duration       `json:"mean_jct_ns"`
+	MeanWait           sim.Duration       `json:"mean_wait_ns"`
+	Utilization        float64            `json:"utilization"`
+	ComputeUtilization float64            `json:"compute_utilization"`
+	DeviceStats        []sched.DeviceStat `json:"device_stats"`
+}
+
+// job is the service's record of one submission.
+type job struct {
+	tj     workload.TraceJob
+	tenant string
+	sub    int // global submission order
+	seq    int // request-log position; -1 while queued
+}
+
+// Service is a concurrent job-submission front-end over one
+// deterministic cluster scheduler. All methods are safe for concurrent
+// use.
+type Service struct {
+	cfg Config
+	sch *sched.Scheduler
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	byID    map[string]*job
+	queues  map[string][]*job // per-tenant admission queues
+	ring    []string          // tenants in first-seen order
+	rr      int               // round-robin cursor into ring
+	pending int               // total queued across tenants
+	count   map[string]int    // lifetime accepted per tenant
+	subs    int               // global submission counter
+	log     []workload.TraceJob
+	logErr  error
+
+	draining bool
+	stopped  bool
+	drainCh  chan struct{}
+
+	// snapshot cache: the replay of log[:snapN].
+	snapN   int
+	snapOK  bool
+	snap    *sched.Result
+	snapErr error
+}
+
+// New constructs a Service and, unless cfg.Manual is set, starts its
+// sequencer goroutine. The request-log header is written immediately
+// so the log sink is a valid (empty) workload trace from the start.
+func New(cfg Config) (*Service, error) {
+	if cfg.Policy.Name == "" {
+		cfg.Policy = sched.Packing
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	if cfg.SpacingMS <= 0 {
+		cfg.SpacingMS = 1
+	}
+	sch, err := sched.NewScheduler(cfg.Cluster, cfg.Policy)
+	if err != nil {
+		return nil, err
+	}
+	s := &Service{
+		cfg:     cfg,
+		sch:     sch,
+		byID:    make(map[string]*job),
+		queues:  make(map[string][]*job),
+		count:   make(map[string]int),
+		drainCh: make(chan struct{}),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.logWrite(workload.TraceHeader)
+	if !cfg.Manual {
+		go s.sequencer()
+	}
+	return s, nil
+}
+
+// logWrite appends to the request-log sink, recording the first error.
+func (s *Service) logWrite(line string) {
+	if s.cfg.RequestLog == nil || s.logErr != nil {
+		return
+	}
+	if _, err := io.WriteString(s.cfg.RequestLog, line); err != nil {
+		s.logErr = fmt.Errorf("serve: request log: %w", err)
+	}
+}
+
+// Submit validates and enqueues one job. The dry-run validation runs
+// outside the service lock (the estimator memoizes concurrently), so
+// submissions of known shapes are cheap and parallel. The returned
+// status is StateQueued; rejection by the cluster's memory admission
+// happens deterministically after sequencing and shows up in Status.
+func (s *Service) Submit(req SubmitRequest) (*JobStatus, error) {
+	tj, tenant, err := s.validate(req)
+	if err != nil {
+		return nil, err
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, ErrDraining
+	}
+	if tj.ID == "" {
+		// Auto ids must dodge user-chosen ones: a request that supplied
+		// no id can never fail as a duplicate.
+		for i := s.subs; ; i++ {
+			cand := fmt.Sprintf("%s/j%d", tenant, i)
+			if _, taken := s.byID[cand]; !taken {
+				tj.ID = cand
+				break
+			}
+		}
+	}
+	if _, dup := s.byID[tj.ID]; dup {
+		return nil, fmt.Errorf("%w: %s", ErrDuplicateID, tj.ID)
+	}
+	if q := s.cfg.TenantQuota; q > 0 && s.count[tenant] >= q {
+		return nil, fmt.Errorf("%w: tenant %s at %d jobs", ErrQuota, tenant, q)
+	}
+	if s.pending >= s.cfg.QueueDepth {
+		return nil, fmt.Errorf("%w: %d pending", ErrQueueFull, s.pending)
+	}
+
+	j := &job{tj: tj, tenant: tenant, sub: s.subs, seq: -1}
+	s.subs++
+	s.count[tenant]++
+	if _, known := s.queues[tenant]; !known {
+		s.ring = append(s.ring, tenant)
+	}
+	s.queues[tenant] = append(s.queues[tenant], j)
+	s.pending++
+	s.byID[tj.ID] = j
+	s.cond.Broadcast()
+	return s.statusLocked(j), nil
+}
+
+// validate checks the request shape and dry-runs every distinct batch
+// so malformed submissions (unknown network or manager, bad schedule)
+// are refused before they can poison the deterministic log. An
+// out-of-memory dry run is NOT a validation error: the job is logged
+// and rejected deterministically by the scheduler, exactly as in a
+// trace replay.
+func (s *Service) validate(req SubmitRequest) (workload.TraceJob, string, error) {
+	tenant := req.Tenant
+	if tenant == "" {
+		tenant = "anon"
+	}
+	if err := checkToken("tenant", tenant); err != nil {
+		return workload.TraceJob{}, "", err
+	}
+	if strings.Contains(tenant, "/") {
+		return workload.TraceJob{}, "", fmt.Errorf("%w: tenant %q must not contain '/'", ErrBadRequest, tenant)
+	}
+	var tj workload.TraceJob
+	if req.ID != "" {
+		if err := checkToken("id", req.ID); err != nil {
+			return workload.TraceJob{}, "", err
+		}
+		tj.ID = tenant + "/" + req.ID
+	}
+	if req.Network == "" {
+		return workload.TraceJob{}, "", fmt.Errorf("%w: network is required", ErrBadRequest)
+	}
+	tj.Network = req.Network
+	tj.Manager = req.Manager
+	tj.Priority = req.Priority
+	tj.Iterations = req.Iterations
+	if tj.Iterations <= 0 {
+		tj.Iterations = 1
+	}
+
+	batches := []int{req.Batch}
+	if req.Schedule != "" {
+		sc, err := workload.ParseSchedule(req.Schedule)
+		if err != nil {
+			return workload.TraceJob{}, "", fmt.Errorf("%w: %v", ErrBadRequest, err)
+		}
+		tj.Batch = sc.Max()
+		if len(sc) > 1 {
+			tj.BatchSchedule = sc
+		}
+		batches = sc.Distinct()
+	} else {
+		if req.Batch <= 0 {
+			return workload.TraceJob{}, "", fmt.Errorf("%w: batch must be positive, got %d", ErrBadRequest, req.Batch)
+		}
+		tj.Batch = req.Batch
+	}
+	for _, b := range batches {
+		_, err := s.sch.Estimator().Estimate(tj.Network, b, tj.Manager, s.cfg.Cluster.Device)
+		if err != nil && !errors.Is(err, core.ErrOutOfMemory) {
+			return workload.TraceJob{}, "", fmt.Errorf("%w: %v", ErrBadRequest, err)
+		}
+	}
+	return tj, tenant, nil
+}
+
+// checkToken refuses characters that would corrupt the
+// whitespace-separated request log.
+func checkToken(field, v string) error {
+	if strings.ContainsAny(v, " \t\n\r#") {
+		return fmt.Errorf("%w: %s %q must not contain whitespace or '#'", ErrBadRequest, field, v)
+	}
+	return nil
+}
+
+// sequencer is the background admission loop: whenever jobs are
+// pending it drains them round-robin across tenants into the log.
+func (s *Service) sequencer() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		for s.pending == 0 && !s.stopped {
+			s.cond.Wait()
+		}
+		if s.stopped {
+			return
+		}
+		s.advanceLocked(0)
+	}
+}
+
+// Advance sequences up to max pending jobs (all of them when max <= 0)
+// and returns how many were sequenced. Only useful with Config.Manual;
+// the background sequencer calls the same code.
+func (s *Service) Advance(max int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.advanceLocked(max)
+}
+
+// advanceLocked pops jobs round-robin across the tenant ring: one job
+// per tenant per turn, skipping empty queues. Each popped job gets the
+// next sequence number, its deterministic arrival, and its request-log
+// line.
+func (s *Service) advanceLocked(max int) int {
+	n := 0
+	for s.pending > 0 && (max <= 0 || n < max) {
+		for len(s.queues[s.ring[s.rr]]) == 0 {
+			s.rr = (s.rr + 1) % len(s.ring)
+		}
+		t := s.ring[s.rr]
+		s.rr = (s.rr + 1) % len(s.ring)
+		j := s.queues[t][0]
+		s.queues[t] = s.queues[t][1:]
+		s.pending--
+		j.seq = len(s.log)
+		j.tj.ArrivalMS = int64(j.seq) * s.cfg.SpacingMS
+		s.log = append(s.log, j.tj)
+		s.logWrite(workload.FormatJob(j.tj))
+		n++
+	}
+	if n > 0 {
+		s.cond.Broadcast()
+	}
+	return n
+}
+
+// snapshotLocked replays the current request log through the
+// scheduler, memoized by log length. This is the only way any result
+// is produced: the service's answers and a later offline replay of the
+// log are the same computation.
+func (s *Service) snapshotLocked() (*sched.Result, error) {
+	if s.snapOK && s.snapN == len(s.log) {
+		return s.snap, s.snapErr
+	}
+	jobs := sched.JobsFromTrace(s.log)
+	r, err := s.sch.Run(jobs)
+	s.snapN, s.snap, s.snapErr, s.snapOK = len(s.log), r, err, true
+	return r, err
+}
+
+// statusLocked renders one job's status against the current snapshot.
+func (s *Service) statusLocked(j *job) *JobStatus {
+	st := &JobStatus{ID: j.tj.ID, Tenant: j.tenant, Seq: j.seq, ArrivalMS: j.tj.ArrivalMS}
+	if j.seq < 0 {
+		st.State = StateQueued
+		for i, q := range s.queues[j.tenant] {
+			if q == j {
+				st.QueuePosition = i + 1
+				break
+			}
+		}
+		return st
+	}
+	snap, err := s.snapshotLocked()
+	if err != nil {
+		st.Reason = err.Error()
+		st.State = StateRejected
+		return st
+	}
+	jr := snap.Jobs[j.seq]
+	st.Result = &jr
+	if jr.Rejected {
+		st.State = StateRejected
+		st.Reason = jr.Reason
+	} else {
+		st.State = StateScheduled
+	}
+	return st
+}
+
+// Status returns one job's current status.
+func (s *Service) Status(id string) (*JobStatus, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.byID[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownJob, id)
+	}
+	return s.statusLocked(j), nil
+}
+
+// Jobs returns every submitted job's status in submission order.
+func (s *Service) Jobs() ([]*JobStatus, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	all := make([]*job, 0, len(s.byID))
+	for _, j := range s.byID {
+		all = append(all, j)
+	}
+	// Submission order is the deterministic listing order.
+	sort.Slice(all, func(i, k int) bool { return all[i].sub < all[k].sub })
+	out := make([]*JobStatus, len(all))
+	for i, j := range all {
+		out[i] = s.statusLocked(j)
+	}
+	return out, nil
+}
+
+// Metrics returns the current cluster snapshot.
+func (s *Service) Metrics() (*Metrics, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := &Metrics{
+		Policy:          s.cfg.Policy.Name,
+		Device:          s.cfg.Cluster.Device.Name,
+		Devices:         s.cfg.Cluster.Devices,
+		Capacity:        s.cfg.Cluster.Capacity(),
+		JobsQueued:      s.pending,
+		JobsSequenced:   len(s.log),
+		Draining:        s.draining,
+		EstimatedShapes: s.sch.Estimator().Len(),
+		Tenants:         make(map[string]TenantStat, len(s.ring)),
+	}
+	m.JobsAccepted = m.JobsQueued + m.JobsSequenced
+	for _, t := range s.ring {
+		st := TenantStat{Accepted: s.count[t], Queued: len(s.queues[t])}
+		st.Sequenced = st.Accepted - st.Queued
+		m.Tenants[t] = st
+	}
+	snap, err := s.snapshotLocked()
+	if err != nil {
+		return nil, err
+	}
+	for _, j := range snap.Jobs {
+		if j.Rejected {
+			m.JobsRejected++
+		}
+	}
+	m.Makespan = snap.Makespan
+	m.MeanJCT = snap.MeanJCT()
+	m.MeanWait = snap.MeanWait()
+	m.Utilization = snap.Utilization
+	m.ComputeUtilization = snap.ComputeUtilization
+	m.DeviceStats = snap.Devices
+	return m, nil
+}
+
+// WaitSequenced blocks until at least n jobs have been sequenced into
+// the request log, or the timeout elapses, and returns the sequenced
+// count. It is the long-poll primitive behind the metrics endpoint.
+func (s *Service) WaitSequenced(n int, timeout time.Duration) int {
+	deadline := time.Now().Add(timeout)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.log) < n && !s.stopped {
+		left := time.Until(deadline)
+		if left <= 0 {
+			break
+		}
+		// The timer must broadcast under the mutex: cond.Wait registers
+		// the waiter while unlocking, so a locked broadcaster cannot
+		// fire in the gap and lose the wakeup.
+		t := time.AfterFunc(left, func() {
+			s.mu.Lock()
+			s.cond.Broadcast()
+			s.mu.Unlock()
+		})
+		s.cond.Wait()
+		t.Stop()
+	}
+	return len(s.log)
+}
+
+// Drain stops admission, sequences everything still queued, and
+// returns the final schedule of the whole request log. It is
+// idempotent; concurrent and later calls return the same result.
+func (s *Service) Drain() (*sched.Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.draining = true
+	s.advanceLocked(0)
+	if !s.stopped {
+		s.stopped = true
+		s.cond.Broadcast()
+		close(s.drainCh)
+	}
+	r, err := s.snapshotLocked()
+	if err == nil {
+		err = s.logErr
+	}
+	return r, err
+}
+
+// Drained is closed once Drain has run (e.g. via the HTTP API), so a
+// daemon can exit after a remote drain.
+func (s *Service) Drained() <-chan struct{} { return s.drainCh }
+
+// ReplayLog returns the deterministic request log accumulated so far —
+// a complete workload trace. Feeding it to workload.ParseTrace and
+// sched.Scheduler.Run (or cmd/snsched -trace) reproduces every per-job
+// result byte-identically.
+func (s *Service) ReplayLog() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return workload.FormatTrace(s.log)
+}
+
+// LogErr reports the first request-log write error, if any.
+func (s *Service) LogErr() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.logErr
+}
+
+// Cluster returns the configured cluster (for daemons' banners).
+func (s *Service) Cluster() sched.Cluster { return s.cfg.Cluster }
+
+// PolicyName returns the configured policy name.
+func (s *Service) PolicyName() string { return s.cfg.Policy.Name }

@@ -34,11 +34,15 @@ type TraceJob struct {
 // Blank lines and lines starting with '#' are skipped. A manager of
 // "-" means the default (flag-driven) manager. The batch field accepts
 // the compact schedule syntax ("16x2,32,64x3") to declare a dynamic
-// per-iteration batch schedule.
+// per-iteration batch schedule. Job IDs must be unique: the scheduler,
+// the serving layer and every per-job report key on them. Every error
+// names the offending line.
 func ParseTrace(r io.Reader) ([]TraceJob, error) {
 	var out []TraceJob
 	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
 	line := 0
+	seen := make(map[string]int)
 	for sc.Scan() {
 		line++
 		text := strings.TrimSpace(sc.Text())
@@ -54,6 +58,10 @@ func ParseTrace(r io.Reader) ([]TraceJob, error) {
 			err error
 		)
 		tj.ID = f[0]
+		if first, dup := seen[tj.ID]; dup {
+			return nil, fmt.Errorf("workload: trace line %d: duplicate job id %q (first on line %d)", line, tj.ID, first)
+		}
+		seen[tj.ID] = line
 		if tj.ArrivalMS, err = strconv.ParseInt(f[1], 10, 64); err != nil || tj.ArrivalMS < 0 {
 			return nil, fmt.Errorf("workload: trace line %d: bad arrival %q", line, f[1])
 		}
@@ -78,27 +86,45 @@ func ParseTrace(r io.Reader) ([]TraceJob, error) {
 		out = append(out, tj)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("workload: reading trace: %w", err)
+		return nil, fmt.Errorf("workload: reading trace after line %d: %w", line, err)
 	}
 	return out, nil
+}
+
+// TraceHeader is the comment line FormatTrace emits before the jobs.
+const TraceHeader = "# id arrival_ms network batch manager priority iterations\n"
+
+// BatchLabel renders a job's batch field: the compact schedule syntax
+// for a dynamic job, the plain batch otherwise. It is the single
+// source of the trace format's batch column; the CLI tables reuse it
+// so they cannot diverge from the trace files.
+func BatchLabel(batch int, sched Schedule) string {
+	if len(sched) > 1 {
+		return sched.String()
+	}
+	return fmt.Sprint(batch)
+}
+
+// FormatJob renders one job as a ParseTrace line (with trailing
+// newline). Incremental writers (the serving layer's request log)
+// append FormatJob lines after a TraceHeader and stay byte-identical
+// with FormatTrace over the same jobs.
+func FormatJob(j TraceJob) string {
+	m := j.Manager
+	if m == "" {
+		m = "-"
+	}
+	return fmt.Sprintf("%s %d %s %s %s %d %d\n",
+		j.ID, j.ArrivalMS, j.Network, BatchLabel(j.Batch, j.BatchSchedule), m, j.Priority, j.Iterations)
 }
 
 // FormatTrace renders jobs in the ParseTrace format, with a header
 // comment.
 func FormatTrace(jobs []TraceJob) string {
 	var b strings.Builder
-	b.WriteString("# id arrival_ms network batch manager priority iterations\n")
+	b.WriteString(TraceHeader)
 	for _, j := range jobs {
-		m := j.Manager
-		if m == "" {
-			m = "-"
-		}
-		batch := fmt.Sprint(j.Batch)
-		if len(j.BatchSchedule) > 1 {
-			batch = j.BatchSchedule.String()
-		}
-		fmt.Fprintf(&b, "%s %d %s %s %s %d %d\n",
-			j.ID, j.ArrivalMS, j.Network, batch, m, j.Priority, j.Iterations)
+		b.WriteString(FormatJob(j))
 	}
 	return b.String()
 }

@@ -34,6 +34,7 @@ import (
 	"repro/internal/policy"
 	"repro/internal/recompute"
 	"repro/internal/sched"
+	"repro/internal/serve"
 	"repro/internal/utp"
 	"repro/internal/workload"
 )
@@ -292,6 +293,39 @@ func DynamicClusterTrace() []Job {
 func CompareSchedulers(c Cluster, jobs []Job) ([]*ScheduleResult, error) {
 	return policy.CompareSchedulers(c, jobs)
 }
+
+// Serving layer (internal/serve): a long-running service that accepts
+// training-job submissions concurrently over HTTP/JSON, sequences them
+// deterministically onto the cluster scheduler, and logs every
+// admitted job so a day of traffic replays byte-identically through
+// the batch path (cmd/snsched). See cmd/snserved for the daemon and
+// cmd/snload for the load generator.
+type (
+	// ServeConfig parameterizes a Service (cluster, policy, bounded
+	// admission queue, per-tenant quota, request-log sink).
+	ServeConfig = serve.Config
+	// Service is the concurrent job-submission front-end.
+	Service = serve.Service
+	// ServeClient is the typed HTTP client for a Service.
+	ServeClient = serve.Client
+	// SubmitRequest is one training-job submission.
+	SubmitRequest = serve.SubmitRequest
+	// JobStatus is the service's view of one submitted job.
+	JobStatus = serve.JobStatus
+	// ServeMetrics is the service's cluster snapshot.
+	ServeMetrics = serve.Metrics
+	// LoadConfig and LoadReport parameterize RunLoad, the concurrent
+	// load generator.
+	LoadConfig = serve.LoadConfig
+	LoadReport = serve.LoadReport
+)
+
+// NewService starts a job-submission service over the cluster.
+func NewService(cfg ServeConfig) (*Service, error) { return serve.New(cfg) }
+
+// RunLoad drives a Service with concurrent clients and reports
+// throughput and submission-latency percentiles.
+func RunLoad(cfg LoadConfig) (*LoadReport, error) { return serve.RunLoad(cfg) }
 
 // Summary renders a human-readable report of a run.
 func Summary(r *Result) string {
