@@ -52,6 +52,7 @@ func BenchmarkPoolFragmented(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		a, err := p.Alloc(1 << 20)
@@ -111,6 +112,7 @@ func BenchmarkRecomputePlan(b *testing.B) {
 func BenchmarkIteration(b *testing.B) {
 	net := nnet.ResNet(50, 32)
 	cfg := DefaultConfig(hw.TeslaK40c)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := Run(net, cfg); err != nil {

@@ -28,6 +28,7 @@ func BenchmarkTable1RecomputeStrategies(b *testing.B) {
 // native cudaMalloc/cudaFree cost model vs the heap-based GPU memory
 // pool.
 func BenchmarkTable2MemoryPool(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		t := experiments.Table2()
 		if i == 0 {
@@ -130,6 +131,7 @@ func BenchmarkFig12DynamicWorkspace(b *testing.B) {
 // BenchmarkFig14EndToEnd regenerates Fig. 14: img/s vs batch for every
 // framework policy across the six networks on the TITAN Xp.
 func BenchmarkFig14EndToEnd(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		s := experiments.Fig14()
 		if i == 0 {

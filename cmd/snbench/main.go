@@ -2,23 +2,32 @@
 // bench-baseline job: it turns `go test -bench` output into a stable
 // JSON summary and gates a new summary against a committed baseline.
 //
-//	go test -run '^$' -bench <regex> -benchtime=1x -count=3 . | snbench parse > BENCH_new.json
+//	go test -run '^$' -bench <regex> -benchtime=1x -count=3 -benchmem . | snbench parse > BENCH_new.json
 //	snbench compare [-tolerance 0.25] BENCH_baseline.json BENCH_new.json
 //
 // parse keeps, per benchmark, the MINIMUM ns/op across the -count
 // repetitions — the least-noise estimator for a deterministic
-// simulation workload — plus the repetition count.
+// simulation workload — plus the repetition count. With -benchmem in
+// the input it also records allocs/op and B/op (minimum across
+// repetitions); the artifact is then schema 2. Schema-1 files (no
+// allocation data) are still read and gated on ns/op only, so an old
+// committed baseline keeps working.
 //
 // compare fails (exit 1) when any baseline benchmark is missing from
-// the new summary or slower than baseline by more than the tolerance
-// (default 0.25 = +25% ns/op). Benchmarks where both sides run under
-// the floor (-floor, default 10µs) are reported but not gated: at that
-// scale timer jitter, not code, decides the ratio. Benchmarks new in
-// this run are reported and pass.
+// the new summary, slower than baseline by more than the tolerance
+// (default 0.25 = +25% ns/op), or — when both sides carry allocation
+// data — allocating more than tolerance above baseline. Benchmarks
+// where both sides run under the floor (-floor, default 10µs) are
+// reported but not ns/op-gated: at that scale timer jitter, not code,
+// decides the ratio. Allocation counts are deterministic, so they are
+// gated even under the time floor, but a regression needs to exceed
+// -allocfloor extra allocs/op (default 16) as well as the tolerance
+// ratio, so ±1 alloc on a zero-alloc micro-benchmark does not fail the
+// build. Benchmarks new in this run are reported and pass.
 //
 // To refresh the committed baseline after an intentional perf change:
 //
-//	go test -run '^$' -bench <regex> -benchtime=1x -count=3 . | snbench parse > BENCH_baseline.json
+//	go test -run '^$' -bench <regex> -benchtime=1x -count=3 -benchmem . ./internal/gpumem | snbench parse > BENCH_baseline.json
 package main
 
 import (
@@ -48,6 +57,12 @@ type BenchStat struct {
 	NsPerOp float64 `json:"ns_per_op"`
 	// Runs is how many repetitions were folded in.
 	Runs int `json:"runs"`
+	// AllocsPerOp and BytesPerOp are the minimum allocation counts
+	// observed, present only when the bench output carried -benchmem
+	// columns (schema 2). Pointers distinguish "recorded as zero" from
+	// "not recorded" so a schema-1 baseline is never allocation-gated.
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
 }
 
 func main() {
@@ -69,11 +84,13 @@ func main() {
 		}
 	case "compare":
 		fs := flag.NewFlagSet("compare", flag.ExitOnError)
-		tolerance := fs.Float64("tolerance", 0.25, "allowed ns/op regression fraction (0.25 = +25%)")
-		floor := fs.Float64("floor", 10_000, "ns/op below which a benchmark is reported but not gated")
+		var opts gateOpts
+		fs.Float64Var(&opts.Tolerance, "tolerance", 0.25, "allowed regression fraction for ns/op and allocs/op (0.25 = +25%)")
+		fs.Float64Var(&opts.Floor, "floor", 10_000, "ns/op below which timing is reported but not gated")
+		fs.Float64Var(&opts.AllocFloor, "allocfloor", 16, "extra allocs/op a regression must exceed before it is gated")
 		_ = fs.Parse(os.Args[2:])
 		if fs.NArg() != 2 {
-			log.Fatal("usage: snbench compare [-tolerance f] [-floor ns] baseline.json new.json")
+			log.Fatal("usage: snbench compare [-tolerance f] [-floor ns] [-allocfloor n] baseline.json new.json")
 		}
 		base, err := readSummary(fs.Arg(0))
 		if err != nil {
@@ -83,7 +100,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := compare(base, cur, *tolerance, *floor, os.Stdout); err != nil {
+		if err := compare(base, cur, opts, os.Stdout); err != nil {
 			log.Fatal(err)
 		}
 	default:
@@ -93,19 +110,22 @@ func main() {
 
 // benchLine matches one `go test -bench` result line, e.g.
 //
-//	BenchmarkMultiTenantSchedulers/fifo-8   1   53170531 ns/op
+//	BenchmarkPoolAllocFree-8   1   14041 ns/op   336 B/op   2 allocs/op
 //
-// capturing the name (GOMAXPROCS suffix stripped) and ns/op.
-var benchLine = regexp.MustCompile(`^(Benchmark\S*?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+// capturing the name (GOMAXPROCS suffix stripped), ns/op, and — when
+// the run used -benchmem — B/op and allocs/op. Custom metrics such as
+// req/s may sit between ns/op and the memory columns.
+var benchLine = regexp.MustCompile(`^(Benchmark\S*?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:.*\s([0-9]+) B/op\s+([0-9]+) allocs/op)?`)
 
 // parseBench folds `go test -bench` output into a Summary, keeping
-// the minimum ns/op per benchmark across repetitions.
+// the minimum per benchmark across repetitions for ns/op and, when
+// present, for B/op and allocs/op.
 func parseBench(r io.Reader) (*Summary, error) {
 	data, err := io.ReadAll(r)
 	if err != nil {
 		return nil, err
 	}
-	sum := &Summary{Schema: 1, Benchmarks: map[string]BenchStat{}}
+	sum := &Summary{Schema: 2, Benchmarks: map[string]BenchStat{}}
 	for _, line := range regexp.MustCompile(`\r?\n`).Split(string(data), -1) {
 		m := benchLine.FindStringSubmatch(line)
 		if m == nil {
@@ -118,6 +138,19 @@ func parseBench(r io.Reader) (*Summary, error) {
 		st, seen := sum.Benchmarks[m[1]]
 		if !seen || ns < st.NsPerOp {
 			st.NsPerOp = ns
+		}
+		if m[3] != "" {
+			bpo, err1 := strconv.ParseFloat(m[3], 64)
+			apo, err2 := strconv.ParseFloat(m[4], 64)
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("snbench: bad -benchmem columns in %q", line)
+			}
+			if st.BytesPerOp == nil || bpo < *st.BytesPerOp {
+				st.BytesPerOp = &bpo
+			}
+			if st.AllocsPerOp == nil || apo < *st.AllocsPerOp {
+				st.AllocsPerOp = &apo
+			}
 		}
 		st.Runs++
 		sum.Benchmarks[m[1]] = st
@@ -140,12 +173,30 @@ func readSummary(path string) (*Summary, error) {
 	if s.Benchmarks == nil {
 		return nil, fmt.Errorf("snbench: %s: no benchmarks", path)
 	}
+	if s.Schema < 1 || s.Schema > 2 {
+		return nil, fmt.Errorf("snbench: %s: unsupported schema %d (have 1, 2)", path, s.Schema)
+	}
 	return &s, nil
+}
+
+// gateOpts are the compare thresholds.
+type gateOpts struct {
+	// Tolerance is the allowed regression fraction, applied to both
+	// ns/op and allocs/op (0.25 = +25%).
+	Tolerance float64
+	// Floor is the ns/op under which timing differences are reported
+	// but not gated (timer jitter dominates there).
+	Floor float64
+	// AllocFloor is the absolute allocs/op increase a regression must
+	// additionally exceed to be gated; allocation counts are
+	// deterministic, so there is no analogue of the time floor, only
+	// this small-count slack.
+	AllocFloor float64
 }
 
 // compare renders the baseline-vs-new table and returns an error
 // naming every gated regression or missing benchmark.
-func compare(base, cur *Summary, tolerance, floor float64, w io.Writer) error {
+func compare(base, cur *Summary, opts gateOpts, w io.Writer) error {
 	names := make([]string, 0, len(base.Benchmarks))
 	for n := range base.Benchmarks {
 		names = append(names, n)
@@ -153,28 +204,40 @@ func compare(base, cur *Summary, tolerance, floor float64, w io.Writer) error {
 	sort.Strings(names)
 
 	var failures []string
-	t := metrics.NewTable(fmt.Sprintf("benchmark gate (tolerance +%.0f%%, floor %s)",
-		100*tolerance, fmtNs(floor)),
-		"benchmark", "baseline", "new", "ratio", "verdict")
+	t := metrics.NewTable(fmt.Sprintf("benchmark gate (tolerance +%.0f%%, floor %s, alloc floor %.0f)",
+		100*opts.Tolerance, fmtNs(opts.Floor), opts.AllocFloor),
+		"benchmark", "baseline", "new", "ratio", "allocs/op", "verdict")
 	for _, n := range names {
 		b := base.Benchmarks[n]
 		c, ok := cur.Benchmarks[n]
 		if !ok {
 			failures = append(failures, fmt.Sprintf("%s: missing from new run", n))
-			t.Add(n, fmtNs(b.NsPerOp), "-", "-", "MISSING")
+			t.Add(n, fmtNs(b.NsPerOp), "-", "-", "-", "MISSING")
 			continue
 		}
 		ratio := c.NsPerOp / b.NsPerOp
 		verdict := "ok"
 		switch {
-		case b.NsPerOp < floor && c.NsPerOp < floor:
+		case b.NsPerOp < opts.Floor && c.NsPerOp < opts.Floor:
 			verdict = "ok (under floor)"
-		case ratio > 1+tolerance:
+		case ratio > 1+opts.Tolerance:
 			verdict = "REGRESSION"
 			failures = append(failures, fmt.Sprintf("%s: %s -> %s (%.2fx > %.2fx allowed)",
-				n, fmtNs(b.NsPerOp), fmtNs(c.NsPerOp), ratio, 1+tolerance))
+				n, fmtNs(b.NsPerOp), fmtNs(c.NsPerOp), ratio, 1+opts.Tolerance))
 		}
-		t.Add(n, fmtNs(b.NsPerOp), fmtNs(c.NsPerOp), fmt.Sprintf("%.2f", ratio), verdict)
+		allocs := "-"
+		if b.AllocsPerOp != nil && c.AllocsPerOp != nil {
+			ba, ca := *b.AllocsPerOp, *c.AllocsPerOp
+			allocs = fmt.Sprintf("%.0f -> %.0f", ba, ca)
+			if ca > ba*(1+opts.Tolerance) && ca-ba > opts.AllocFloor {
+				if verdict == "ok" || verdict == "ok (under floor)" {
+					verdict = "REGRESSION (allocs)"
+				}
+				failures = append(failures, fmt.Sprintf("%s: allocs/op %.0f -> %.0f (+%.0f > +%.0f%% and > %.0f extra allowed)",
+					n, ba, ca, ca-ba, 100*opts.Tolerance, opts.AllocFloor))
+			}
+		}
+		t.Add(n, fmtNs(b.NsPerOp), fmtNs(c.NsPerOp), fmt.Sprintf("%.2f", ratio), allocs, verdict)
 	}
 	extra := make([]string, 0, len(cur.Benchmarks))
 	for n := range cur.Benchmarks {
@@ -184,13 +247,13 @@ func compare(base, cur *Summary, tolerance, floor float64, w io.Writer) error {
 	}
 	sort.Strings(extra)
 	for _, n := range extra {
-		t.Add(n, "-", fmtNs(cur.Benchmarks[n].NsPerOp), "-", "new (no baseline)")
+		t.Add(n, "-", fmtNs(cur.Benchmarks[n].NsPerOp), "-", "-", "new (no baseline)")
 	}
 	fmt.Fprintln(w, t.String())
 	if len(failures) > 0 {
 		return fmt.Errorf("benchmark gate failed:\n  %s", strings.Join(failures, "\n  "))
 	}
-	fmt.Fprintf(w, "gate passed: %d benchmarks within +%.0f%% of baseline\n", len(names), 100*tolerance)
+	fmt.Fprintf(w, "gate passed: %d benchmarks within +%.0f%% of baseline\n", len(names), 100*opts.Tolerance)
 	return nil
 }
 

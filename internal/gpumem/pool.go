@@ -2,7 +2,9 @@
 // SuperNeurons runtime (§3.2.1 of the paper):
 //
 //   - Pool: a fast heap-based allocator over one big preallocated
-//     region, carved into 1 KiB blocks, with a first-fit free list, an
+//     region, carved into 1 KiB blocks, with a first-fit free-space
+//     index (an address-ordered AVL tree augmented with subtree max
+//     span sizes, giving O(log n) alloc/free and O(1) MaxAlloc), an
 //     ID→node table for O(1) deallocation lookup, and free-span
 //     coalescing. Pool operations cost ~1 µs of virtual time, which
 //     amortizes away the cudaMalloc/cudaFree overhead that costs
@@ -77,7 +79,7 @@ type Pool struct {
 	capacity int64
 	opCost   sim.Duration
 
-	free   []span // sorted by addr, fully coalesced
+	free   freeIndex // address-ordered, fully coalesced free spans
 	allocd map[int64]span
 	nextID int64
 
@@ -93,13 +95,14 @@ func NewPool(capacity int64, opCost sim.Duration) *Pool {
 	if capacity <= 0 {
 		panic("gpumem: pool capacity must be at least one block")
 	}
-	return &Pool{
+	p := &Pool{
 		capacity: capacity,
 		opCost:   opCost,
-		free:     []span{{addr: 0, size: capacity}},
 		allocd:   make(map[int64]span),
 		nextID:   1,
 	}
+	p.free.insert(0, capacity)
+	return p
 }
 
 func roundUp(n int64) int64 {
@@ -109,35 +112,38 @@ func roundUp(n int64) int64 {
 	return (n + BlockSize - 1) / BlockSize * BlockSize
 }
 
-// Alloc reserves n bytes (rounded up to whole blocks) using first-fit.
+// Alloc reserves n bytes (rounded up to whole blocks) using first-fit:
+// the index returns the lowest-address free span with room, exactly
+// what a linear scan of the address-sorted free list would pick, in
+// O(log n).
 func (p *Pool) Alloc(n int64) (Allocation, error) {
 	need := roundUp(n)
-	for i, f := range p.free {
-		if f.size < need {
-			continue
-		}
-		a := Allocation{ID: p.nextID, Addr: f.addr, Bytes: need}
-		p.nextID++
-		if f.size == need {
-			p.free = append(p.free[:i], p.free[i+1:]...)
-		} else {
-			p.free[i] = span{addr: f.addr + need, size: f.size - need}
-		}
-		p.allocd[a.ID] = span{id: a.ID, addr: a.Addr, size: need}
-		p.used += need
-		if p.used > p.peak {
-			p.peak = p.used
-		}
-		p.stats.Allocs++
-		p.stats.BytesServed += need
-		return a, nil
+	addr, size, ok := p.free.firstFit(need)
+	if !ok {
+		p.stats.FailedAllocs++
+		return Allocation{}, fmt.Errorf("%w: need %d bytes, free %d (largest contiguous %d)",
+			ErrOutOfMemory, need, p.capacity-p.used, p.LargestFree())
 	}
-	p.stats.FailedAllocs++
-	return Allocation{}, fmt.Errorf("%w: need %d bytes, free %d (largest contiguous %d)",
-		ErrOutOfMemory, need, p.capacity-p.used, p.LargestFree())
+	a := Allocation{ID: p.nextID, Addr: addr, Bytes: need}
+	p.nextID++
+	if size == need {
+		p.free.remove(addr)
+	} else {
+		p.free.takeFront(addr, need)
+	}
+	p.allocd[a.ID] = span{id: a.ID, addr: a.Addr, size: need}
+	p.used += need
+	if p.used > p.peak {
+		p.peak = p.used
+	}
+	p.stats.Allocs++
+	p.stats.BytesServed += need
+	return a, nil
 }
 
-// Free returns an allocation to the pool, coalescing with neighbors.
+// Free returns an allocation to the pool, coalescing with its free
+// neighbors in O(log n): an adjacent successor is absorbed and removed,
+// an adjacent predecessor is grown in place.
 func (p *Pool) Free(id int64) error {
 	s, ok := p.allocd[id]
 	if !ok {
@@ -147,20 +153,15 @@ func (p *Pool) Free(id int64) error {
 	p.used -= s.size
 	p.stats.Frees++
 
-	// Insert into the address-ordered free list and coalesce.
-	i := sort.Search(len(p.free), func(i int) bool { return p.free[i].addr > s.addr })
-	p.free = append(p.free, span{})
-	copy(p.free[i+1:], p.free[i:])
-	p.free[i] = span{addr: s.addr, size: s.size}
-	// Coalesce with successor.
-	if i+1 < len(p.free) && p.free[i].addr+p.free[i].size == p.free[i+1].addr {
-		p.free[i].size += p.free[i+1].size
-		p.free = append(p.free[:i+1], p.free[i+2:]...)
+	start, size := s.addr, s.size
+	if na, ns, ok := p.free.nextSpan(start); ok && start+size == na {
+		p.free.remove(na)
+		size += ns
 	}
-	// Coalesce with predecessor.
-	if i > 0 && p.free[i-1].addr+p.free[i-1].size == p.free[i].addr {
-		p.free[i-1].size += p.free[i].size
-		p.free = append(p.free[:i], p.free[i+1:]...)
+	if pa, ps, ok := p.free.prevSpan(start); ok && pa+ps == start {
+		p.free.grow(pa, size)
+	} else {
+		p.free.insert(start, size)
 	}
 	return nil
 }
@@ -188,16 +189,14 @@ func (p *Pool) FreeBytes() int64 { return p.capacity - p.used }
 func (p *Pool) MaxAlloc() int64 { return p.LargestFree() }
 
 // LargestFree returns the largest contiguous free extent; allocations
-// larger than this fail even if FreeBytes would suffice.
-func (p *Pool) LargestFree() int64 {
-	var m int64
-	for _, f := range p.free {
-		if f.size > m {
-			m = f.size
-		}
-	}
-	return m
-}
+// larger than this fail even if FreeBytes would suffice. It is an O(1)
+// read of the index root's augmentation — the step loop calls it (via
+// MaxAlloc) on every convolution step to size the dynamic workspace.
+func (p *Pool) LargestFree() int64 { return p.free.largest() }
+
+// FreeSpans returns the number of fragments the free space is split
+// into (a fragmentation diagnostic).
+func (p *Pool) FreeSpans() int { return p.free.count }
 
 // Fragmentation returns 1 - largest/total free space, in [0,1]. An
 // empty or fully-allocated pool reports 0.
@@ -222,24 +221,27 @@ func (p *Pool) ResetPeak() { p.peak = p.used }
 // CheckInvariants validates internal consistency; it is exercised by
 // property-based tests and returns a descriptive error on violation.
 func (p *Pool) CheckInvariants() error {
+	if err := p.free.check(); err != nil {
+		return err
+	}
 	var freeBytes int64
-	for i, f := range p.free {
-		if f.size <= 0 || f.addr < 0 || f.addr+f.size > p.capacity {
-			return fmt.Errorf("free span %d out of range: %+v", i, f)
+	prevEnd := int64(-1) // end of the previous span; -1 = none yet
+	if err := p.free.walk(func(addr, size int64) error {
+		switch {
+		case size <= 0 || addr < 0 || addr+size > p.capacity:
+			return fmt.Errorf("free span out of range: [%d,%d)", addr, addr+size)
+		case addr%BlockSize != 0 || size%BlockSize != 0:
+			return fmt.Errorf("free span not block aligned: [%d,%d)", addr, addr+size)
+		case prevEnd > addr:
+			return fmt.Errorf("free spans overlap: previous ends at %d, next starts at %d", prevEnd, addr)
+		case prevEnd == addr:
+			return fmt.Errorf("free spans not coalesced at %d", addr)
 		}
-		if f.addr%BlockSize != 0 || f.size%BlockSize != 0 {
-			return fmt.Errorf("free span %d not block aligned: %+v", i, f)
-		}
-		if i > 0 {
-			prev := p.free[i-1]
-			if prev.addr+prev.size > f.addr {
-				return fmt.Errorf("free spans overlap: %+v then %+v", prev, f)
-			}
-			if prev.addr+prev.size == f.addr {
-				return fmt.Errorf("free spans not coalesced: %+v then %+v", prev, f)
-			}
-		}
-		freeBytes += f.size
+		prevEnd = addr + size
+		freeBytes += size
+		return nil
+	}); err != nil {
+		return err
 	}
 	var usedBytes int64
 	spans := make([]span, 0, len(p.allocd))

@@ -1,0 +1,95 @@
+package gpumem
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// benchAllocator is the slice of the pool API the scaling benchmark
+// exercises, implemented by both the indexed Pool and the linear-scan
+// reference.
+type benchAllocator interface {
+	Alloc(n int64) (Allocation, error)
+	Free(id int64) error
+	MaxAlloc() int64
+	FreeSpans() int
+}
+
+// fragmentTo carves the allocator's address space into exactly spans
+// free holes: (spans-1) one-block holes separated by live blocks, plus
+// a final two-block hole. Every benchmark op then allocates two blocks,
+// which first-fit can only place in the last hole — the linear
+// reference walks all spans to find it, the index descends O(log n) —
+// and frees it again, restoring the layout. MaxAlloc is sampled too,
+// mirroring the step loop's per-convolution workspace sizing.
+func fragmentTo(tb testing.TB, p benchAllocator, spans int) {
+	holes := make([]int64, 0, spans)
+	for i := 0; i < spans-1; i++ {
+		if _, err := p.Alloc(BlockSize); err != nil { // separator, stays live
+			tb.Fatal(err)
+		}
+		h, err := p.Alloc(BlockSize)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		holes = append(holes, h.ID)
+	}
+	if _, err := p.Alloc(BlockSize); err != nil {
+		tb.Fatal(err)
+	}
+	h, err := p.Alloc(2 * BlockSize)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	holes = append(holes, h.ID)
+	for _, id := range holes {
+		if err := p.Free(id); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	if p.FreeSpans() != spans {
+		tb.Fatalf("setup produced %d free spans, want %d", p.FreeSpans(), spans)
+	}
+}
+
+// BenchmarkPoolScaling measures one MaxAlloc + first-fit alloc/free
+// cycle against the number of free spans, for the production index and
+// the pre-PR linear scan. The index's per-op cost should stay near
+// flat from 64 to 16384 spans while the reference grows linearly.
+func BenchmarkPoolScaling(b *testing.B) {
+	spanCounts := []int{64, 256, 1024, 4096, 16384}
+	impls := []struct {
+		name string
+		mk   func(capacity int64) benchAllocator
+	}{
+		{"index", func(c int64) benchAllocator { return NewPool(c, sim.Microsecond) }},
+		{"linear-reference", func(c int64) benchAllocator { return newRefPool(c, sim.Microsecond) }},
+	}
+	for _, impl := range impls {
+		for _, spans := range spanCounts {
+			// "spans=N", not "spans-N": a trailing -number would be
+			// indistinguishable from the GOMAXPROCS suffix that
+			// snbench (like benchstat) strips from benchmark names.
+			b.Run(fmt.Sprintf("%s/spans=%d", impl.name, spans), func(b *testing.B) {
+				p := impl.mk(int64(2*spans+1) * BlockSize)
+				fragmentTo(b, p, spans)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if p.MaxAlloc() < 2*BlockSize {
+						b.Fatal("layout lost the two-block hole")
+					}
+					a, err := p.Alloc(2 * BlockSize)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if err := p.Free(a.ID); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

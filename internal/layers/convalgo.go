@@ -59,15 +59,25 @@ type Algo struct {
 //   - FFT: stride-1 kernels of size ≥5, workspace = padded complex
 //     spectra of input, output and filters.
 func (s *Spec) ConvAlgos() []Algo {
+	set, n := s.convAlgoSet()
+	return append([]Algo(nil), set[:n]...)
+}
+
+// convAlgoSet fills a fixed-size array with the available algorithms —
+// at most one per AlgoKind — so per-step algorithm selection in the
+// executor's hot loop allocates nothing.
+func (s *Spec) convAlgoSet() (set [4]Algo, n int) {
 	if s.Type != Conv {
 		panic("layers: ConvAlgos on non-conv layer")
 	}
 	in := s.In[0]
-	algos := []Algo{{Kind: AlgoImplicitGEMM, Workspace: 0, Speedup: 1.0}}
+	set[0] = Algo{Kind: AlgoImplicitGEMM, Workspace: 0, Speedup: 1.0}
+	n = 1
 
 	im2col := int64(in.N) * int64(in.C) * int64(s.K) * int64(s.KW) *
 		int64(s.Out.H) * int64(s.Out.W) * tensor.ElemSize
-	algos = append(algos, Algo{Kind: AlgoGEMM, Workspace: im2col, Speedup: 1.25})
+	set[n] = Algo{Kind: AlgoGEMM, Workspace: im2col, Speedup: 1.25}
+	n++
 
 	if s.K >= 5 && s.KW >= 5 && s.Stride == 1 {
 		// Complex spectra (8 bytes/coeff) for input maps, output maps
@@ -75,13 +85,15 @@ func (s *Spec) ConvAlgos() []Algo {
 		hp, wp := int64(in.H+2*s.Pad), int64(in.W+2*s.PadW)
 		spec := 8 * hp * wp * (int64(in.N)*int64(in.C) +
 			int64(in.N)*int64(s.OutC) + int64(in.C)*int64(s.OutC))
-		algos = append(algos, Algo{Kind: AlgoFFT, Workspace: spec, Speedup: 1.6})
+		set[n] = Algo{Kind: AlgoFFT, Workspace: spec, Speedup: 1.6}
+		n++
 	}
 	if s.K == 3 && s.KW == 3 && s.Stride == 1 {
 		ws := int64(2.25 * float64(in.Bytes()+s.Out.Bytes()))
-		algos = append(algos, Algo{Kind: AlgoWinograd, Workspace: ws, Speedup: 2.0})
+		set[n] = Algo{Kind: AlgoWinograd, Workspace: ws, Speedup: 2.0}
+		n++
 	}
-	return algos
+	return set, n
 }
 
 // BestAlgoWithin returns the fastest algorithm whose workspace fits
@@ -91,7 +103,8 @@ func (s *Spec) ConvAlgos() []Algo {
 // provide").
 func (s *Spec) BestAlgoWithin(budget int64) Algo {
 	best := Algo{Kind: AlgoImplicitGEMM, Speedup: 1.0}
-	for _, a := range s.ConvAlgos() {
+	set, n := s.convAlgoSet()
+	for _, a := range set[:n] {
 		if a.Workspace <= budget && a.Speedup > best.Speedup {
 			best = a
 		}

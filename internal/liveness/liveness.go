@@ -8,7 +8,10 @@
 // kept as Reference for cross-validation in tests.
 package liveness
 
-import "repro/internal/program"
+import (
+	"repro/internal/program"
+	"repro/internal/tensor"
+)
 
 // Result holds the per-tensor lifetime facts and the per-step free
 // lists derived from them.
@@ -35,8 +38,10 @@ func Analyze(p *program.Program) *Result {
 		r.FirstUse[i] = -1
 		r.LastUse[i] = -1
 	}
+	var scratch []*tensor.Tensor
 	for si := range p.Steps {
-		for _, t := range program.StepTensors(&p.Steps[si]) {
+		scratch = program.AppendStepTensors(scratch[:0], &p.Steps[si])
+		for _, t := range scratch {
 			if r.FirstUse[t.ID] < 0 {
 				r.FirstUse[t.ID] = si
 			}

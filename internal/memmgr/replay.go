@@ -18,6 +18,21 @@ type StdReplayer struct {
 	rt    *Runtime
 	resid Residency
 	off   OffloadEngine
+
+	// Per-step scratch, reused across ReplayFor calls so the backward
+	// pass of a deep network does not allocate per step. The returned
+	// freeAfter slice is consumed by the caller within the same step.
+	needs     []segNeed
+	keep      map[int]bool
+	deps      []sim.Event
+	freeAfter []*tensor.Tensor
+}
+
+// segNeed records how deep into a recompute segment one backward
+// step's reads reach.
+type segNeed struct {
+	seg    *recompute.Segment
+	maxPos int
 }
 
 // NewStdReplayer wires the standard replayer over the runtime, its
@@ -31,12 +46,8 @@ func NewStdReplayer(rt *Runtime, resid Residency, off OffloadEngine) *StdReplaye
 // freed right after the step (memory-centric replays).
 func (rp *StdReplayer) ReplayFor(st *program.Step) ([]*tensor.Tensor, error) {
 	rt := rp.rt
-	var freeAfter []*tensor.Tensor
-	type segNeed struct {
-		seg    *recompute.Segment
-		maxPos int
-	}
-	var needs []segNeed
+	rp.freeAfter = rp.freeAfter[:0]
+	needs := rp.needs[:0]
 	for _, t := range st.Reads {
 		nd := rt.Owner[t.ID]
 		if nd < 0 || !rt.RPlan.Drop[nd] || rt.TS[t.ID].OnGPU {
@@ -44,6 +55,7 @@ func (rp *StdReplayer) ReplayFor(st *program.Step) ([]*tensor.Tensor, error) {
 		}
 		seg := rt.RPlan.SegmentOf[nd]
 		if seg == nil {
+			rp.needs = needs
 			return nil, fmt.Errorf("dropped tensor %s has no segment", t)
 		}
 		pos := -1
@@ -66,9 +78,15 @@ func (rp *StdReplayer) ReplayFor(st *program.Step) ([]*tensor.Tensor, error) {
 			needs = append(needs, segNeed{seg: seg, maxPos: pos})
 		}
 	}
+	rp.needs = needs
 	var keep map[int]bool
 	if len(needs) > 0 {
-		keep = make(map[int]bool, len(st.Reads))
+		if rp.keep == nil {
+			rp.keep = make(map[int]bool, len(st.Reads))
+		} else {
+			clear(rp.keep)
+		}
+		keep = rp.keep
 		for _, t := range st.Reads {
 			keep[t.ID] = true
 		}
@@ -89,12 +107,12 @@ func (rp *StdReplayer) ReplayFor(st *program.Step) ([]*tensor.Tensor, error) {
 			// Memory-centric: replay only the needed prefix, freeing
 			// the chain behind the replay front (streaming), and free
 			// the rest immediately after this step.
-			if err := rp.replayMembers(n.seg, n.maxPos, &freeAfter, keep); err != nil {
+			if err := rp.replayMembers(n.seg, n.maxPos, &rp.freeAfter, keep); err != nil {
 				return nil, err
 			}
 		}
 	}
-	return freeAfter, nil
+	return rp.freeAfter, nil
 }
 
 // replayMembers re-runs the forward of segment members [0..upTo],
@@ -111,7 +129,7 @@ func (rp *StdReplayer) replayMembers(seg *recompute.Segment, upTo int, freeAfter
 		if rt.TS[out.ID].OnGPU {
 			continue
 		}
-		var deps []sim.Event
+		deps := rp.deps[:0]
 		for _, pr := range m.Prev {
 			in := rt.P.Out[pr.ID]
 			s := &rt.TS[in.ID]
@@ -128,6 +146,7 @@ func (rp *StdReplayer) replayMembers(seg *recompute.Segment, upTo int, freeAfter
 			}
 			in.Locked = true
 		}
+		rp.deps = deps
 		if err := rp.resid.Alloc(out); err != nil {
 			return err
 		}

@@ -20,13 +20,18 @@ type StdResidency struct {
 	// fetches allocate through residency, reclaims harvest through
 	// the offload engine).
 	off OffloadEngine
+	// deps is the scratch buffer PinReads returns; the caller consumes
+	// it before the next step (Engine.Submit copies the values out), so
+	// reusing it keeps the hot loop allocation-free.
+	deps []sim.Event
 }
 
 // PinReads makes the step's reads resident, collecting the transfer
-// events the kernel must wait for.
+// events the kernel must wait for. The returned slice is only valid
+// until the next PinReads call.
 func (r *StdResidency) PinReads(st *program.Step) ([]sim.Event, error) {
 	rt := r.rt
-	var deps []sim.Event
+	deps := r.deps[:0]
 	for _, t := range st.Reads {
 		s := &rt.TS[t.ID]
 		if !s.OnGPU {
@@ -50,6 +55,7 @@ func (r *StdResidency) PinReads(st *program.Step) ([]sim.Event, error) {
 		}
 		t.Locked = true
 	}
+	r.deps = deps
 	return deps, nil
 }
 

@@ -140,6 +140,18 @@ func (rt *Runtime) bind(p *program.Program, cfg Config) {
 	rt.Res.LPeak, _ = p.LPeak()
 	rt.Res.PersistentBytes = p.PersistentBytes
 
+	// Size the per-iteration result buffers up front so steady-state
+	// iterations append without growth reallocations: every iteration
+	// records one StepProfile per step plus the SGD update, and (when
+	// tracing) one compute span per step and at most one span per
+	// transfer engine submission.
+	if cap(rt.Res.Steps) < len(p.Steps)+1 {
+		rt.Res.Steps = make([]StepProfile, 0, len(p.Steps)+1)
+	}
+	if cfg.CollectTrace && cap(rt.Res.Trace) < 3*len(p.Steps)+1 {
+		rt.Res.Trace = make([]trace.Span, 0, 3*len(p.Steps)+1)
+	}
+
 	rt.PendingOff = nil
 	rt.DropAt = make([][]int, len(p.Steps))
 	for id := range rt.Owner {

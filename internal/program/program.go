@@ -57,10 +57,21 @@ type Step struct {
 	// appearing in both (in-place gradient) is listed once in each.
 	Reads  []*tensor.Tensor
 	Writes []*tensor.Tensor
+
+	// label caches Label()'s result: the step loop asks for it on every
+	// step of every iteration, so it is rendered once at lowering.
+	label string
 }
 
-// Label renders e.g. "conv1 fwd" for profiles.
-func (s *Step) Label() string { return fmt.Sprintf("%s %s", s.Node.Name(), s.Phase) }
+// Label renders e.g. "conv1 fwd" for profiles. Steps built by the
+// lowering carry a precomputed label; hand-rolled test steps fall back
+// to rendering on demand.
+func (s *Step) Label() string {
+	if s.label != "" {
+		return s.label
+	}
+	return fmt.Sprintf("%s %s", s.Node.Name(), s.Phase)
+}
 
 // Program is the lowered execution plan for one training iteration.
 type Program struct {
@@ -143,6 +154,7 @@ func BuildWith(net *nnet.Net, opts Options) *Program {
 	// Forward steps.
 	for _, nd := range route {
 		st := Step{Index: len(p.Steps), Node: nd, Phase: Forward}
+		st.label = st.Node.Name() + " " + st.Phase.String()
 		for _, pr := range nd.Prev {
 			st.Reads = append(st.Reads, p.Out[pr.ID])
 		}
@@ -160,6 +172,7 @@ func BuildWith(net *nnet.Net, opts Options) *Program {
 			continue
 		}
 		st := Step{Index: len(p.Steps), Node: nd, Phase: Backward}
+		st.label = st.Node.Name() + " " + st.Phase.String()
 		if g := p.GradOut[nd.ID]; g != nil {
 			st.Reads = append(st.Reads, g)
 		}
@@ -220,27 +233,51 @@ func (p *Program) resolveGradOut(nd *nnet.Node, visiting map[int]bool) *tensor.T
 // StepTensors returns the deduplicated union of a step's reads and
 // writes — the tensors that must coexist on the GPU for the step.
 func StepTensors(st *Step) []*tensor.Tensor {
-	seen := make(map[int]bool, len(st.Reads)+len(st.Writes))
-	var out []*tensor.Tensor
+	return AppendStepTensors(nil, st)
+}
+
+// AppendStepTensors appends the step's distinct tensors to dst and
+// returns the extended slice, deduplicating against everything already
+// in dst. Callers on hot paths pass a reused scratch buffer (dst[:0])
+// so per-step analysis does no allocation; the read/write lists are a
+// handful of entries, so the linear dedup scan beats a map.
+func AppendStepTensors(dst []*tensor.Tensor, st *Step) []*tensor.Tensor {
 	for _, lists := range [2][]*tensor.Tensor{st.Reads, st.Writes} {
 		for _, t := range lists {
-			if !seen[t.ID] {
-				seen[t.ID] = true
-				out = append(out, t)
+			if !containsID(dst, t.ID) {
+				dst = append(dst, t)
 			}
 		}
 	}
-	return out
+	return dst
 }
 
 // WorkingSet returns the bytes that must coexist for step i — the
-// paper's per-layer memory usage l_i (forward or backward flavor).
+// paper's per-layer memory usage l_i (forward or backward flavor). It
+// computes the deduplicated union inline, without materializing it.
 func (p *Program) WorkingSet(i int) int64 {
+	st := &p.Steps[i]
 	var sum int64
-	for _, t := range StepTensors(&p.Steps[i]) {
-		sum += t.Bytes()
+	for ri, t := range st.Reads {
+		if !containsID(st.Reads[:ri], t.ID) {
+			sum += t.Bytes()
+		}
+	}
+	for wi, t := range st.Writes {
+		if !containsID(st.Reads, t.ID) && !containsID(st.Writes[:wi], t.ID) {
+			sum += t.Bytes()
+		}
 	}
 	return sum
+}
+
+func containsID(ts []*tensor.Tensor, id int) bool {
+	for _, t := range ts {
+		if t.ID == id {
+			return true
+		}
+	}
+	return false
 }
 
 // LPeak returns max(l_i) over all steps: the layer-wise lower bound on

@@ -11,11 +11,7 @@
 // eviction victims.
 package tcache
 
-import (
-	"container/list"
-
-	"repro/internal/tensor"
-)
+import "repro/internal/tensor"
 
 // Stats counts cache activity.
 type Stats struct {
@@ -53,13 +49,26 @@ func (p Policy) String() string {
 	return "policy(?)"
 }
 
+// node is one entry of the intrusive recency list. Nodes removed from
+// the list are recycled through the cache's spare list (chained via
+// next), so steady-state insert/remove traffic does not allocate.
+type node struct {
+	t          *tensor.Tensor
+	prev, next *node
+}
+
 // Cache is a recency list of GPU-resident tensors; the front is the
 // most recently used (Alg. 2's MFU position).
 type Cache struct {
-	ll     *list.List // of *tensor.Tensor
-	index  map[int]*list.Element
-	policy Policy
-	stats  Stats
+	front, back *node
+	index       map[int]*node
+	spare       *node
+	policy      Policy
+	stats       Stats
+
+	// victims is the scratch buffer Victims returns; the caller evicts
+	// its contents before the next pressure scan.
+	victims []*tensor.Tensor
 }
 
 // New returns an empty LRU cache (the paper's policy).
@@ -68,14 +77,49 @@ func New() *Cache { return NewWithPolicy(LRU) }
 // NewWithPolicy returns an empty cache with the given replacement
 // policy.
 func NewWithPolicy(p Policy) *Cache {
-	return &Cache{ll: list.New(), index: make(map[int]*list.Element), policy: p}
+	return &Cache{index: make(map[int]*node), policy: p}
 }
 
 // Policy returns the cache's replacement policy.
 func (c *Cache) Policy() Policy { return c.policy }
 
 // Len returns the number of cached tensors.
-func (c *Cache) Len() int { return c.ll.Len() }
+func (c *Cache) Len() int { return len(c.index) }
+
+// unlink detaches n from the recency list without recycling it.
+func (c *Cache) unlink(n *node) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		c.front = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		c.back = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+// pushFront makes n the most recently used entry.
+func (c *Cache) pushFront(n *node) {
+	n.prev, n.next = nil, c.front
+	if c.front != nil {
+		c.front.prev = n
+	}
+	c.front = n
+	if c.back == nil {
+		c.back = n
+	}
+}
+
+func (c *Cache) moveToFront(n *node) {
+	if c.front == n {
+		return
+	}
+	c.unlink(n)
+	c.pushFront(n)
+}
 
 // Stats returns a copy of the activity counters.
 func (c *Cache) Stats() Stats { return c.stats }
@@ -94,7 +138,7 @@ func (c *Cache) Contains(t *tensor.Tensor) bool {
 func (c *Cache) Check(t *tensor.Tensor) bool {
 	if e, ok := c.index[t.ID]; ok {
 		if c.policy != FIFO {
-			c.ll.MoveToFront(e)
+			c.moveToFront(e)
 		}
 		c.stats.Hits++
 		return true
@@ -108,19 +152,30 @@ func (c *Cache) Check(t *tensor.Tensor) bool {
 // separately.
 func (c *Cache) In(t *tensor.Tensor) {
 	if e, ok := c.index[t.ID]; ok {
-		c.ll.MoveToFront(e)
+		c.moveToFront(e)
 		return
 	}
 	t.Locked = false
-	c.index[t.ID] = c.ll.PushFront(t)
+	n := c.spare
+	if n != nil {
+		c.spare = n.next
+		n.next = nil
+	} else {
+		n = &node{}
+	}
+	n.t = t
+	c.pushFront(n)
+	c.index[t.ID] = n
 }
 
 // Remove drops a tensor from the cache without counting an eviction
 // (used when liveness frees a dead tensor).
 func (c *Cache) Remove(t *tensor.Tensor) {
 	if e, ok := c.index[t.ID]; ok {
-		c.ll.Remove(e)
+		c.unlink(e)
 		delete(c.index, t.ID)
+		*e = node{next: c.spare}
+		c.spare = e
 	}
 }
 
@@ -129,24 +184,30 @@ func (c *Cache) Remove(t *tensor.Tensor) {
 // and FIFO scan from the recency tail, MRU from the front). The bool
 // reports whether enough unlocked bytes exist; the returned tensors
 // are NOT removed — the caller offloads them and then calls Remove,
-// counting the eviction via Evicted.
+// counting the eviction via Evicted. The returned slice is scratch,
+// valid until the next Victims call.
 func (c *Cache) Victims(need int64) ([]*tensor.Tensor, bool) {
-	var victims []*tensor.Tensor
+	victims := c.victims[:0]
 	var freed int64
-	next := func(e *list.Element) *list.Element { return e.Prev() }
-	start := c.ll.Back()
-	if c.policy == MRU {
-		next = func(e *list.Element) *list.Element { return e.Next() }
-		start = c.ll.Front()
+	backward := c.policy != MRU
+	start := c.back
+	if !backward {
+		start = c.front
 	}
-	for e := start; e != nil && freed < need; e = next(e) {
-		t := e.Value.(*tensor.Tensor)
+	for e := start; e != nil && freed < need; {
+		t := e.t
+		if backward {
+			e = e.prev
+		} else {
+			e = e.next
+		}
 		if t.Locked {
 			continue
 		}
 		victims = append(victims, t)
 		freed += t.Bytes()
 	}
+	c.victims = victims
 	if freed < need {
 		return nil, false
 	}
@@ -163,9 +224,9 @@ func (c *Cache) Evicted(t *tensor.Tensor) {
 // Tensors returns the cached tensors from MRU to LRU (for tests and
 // debugging).
 func (c *Cache) Tensors() []*tensor.Tensor {
-	out := make([]*tensor.Tensor, 0, c.ll.Len())
-	for e := c.ll.Front(); e != nil; e = e.Next() {
-		out = append(out, e.Value.(*tensor.Tensor))
+	out := make([]*tensor.Tensor, 0, len(c.index))
+	for e := c.front; e != nil; e = e.next {
+		out = append(out, e.t)
 	}
 	return out
 }
