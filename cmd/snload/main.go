@@ -81,13 +81,24 @@ func run(o options, w io.Writer) error {
 	}
 
 	t := metrics.NewTable(fmt.Sprintf("load run: %d clients x %d jobs against %s", o.clients, o.jobs, o.addr),
-		"submitted", "queue-full retries", "quota-denied", "failed", "elapsed", "req/s", "p50", "p90", "p99", "max")
-	t.Add(fmt.Sprint(rep.Submitted), fmt.Sprint(rep.QueueFull), fmt.Sprint(rep.QuotaDenied),
+		"submitted", "queue-full retries", "shed retries", "quota-denied", "failed", "elapsed", "req/s", "p50", "p90", "p99", "max")
+	t.Add(fmt.Sprint(rep.Submitted), fmt.Sprint(rep.QueueFull), fmt.Sprint(rep.Shed),
+		fmt.Sprint(rep.QuotaDenied),
 		fmt.Sprint(rep.Failed), rep.Elapsed.Round(time.Millisecond).String(),
 		fmt.Sprintf("%.0f", rep.Throughput),
 		rep.P50.Round(time.Microsecond).String(), rep.P90.Round(time.Microsecond).String(),
 		rep.P99.Round(time.Microsecond).String(), rep.Max.Round(time.Microsecond).String())
 	fmt.Fprintln(w, t.String())
+
+	if len(rep.Shards) > 1 {
+		st := metrics.NewTable("per-shard submission latency (shard assignment from the submit responses)",
+			"shard", "submitted", "p50", "p99")
+		for _, sl := range rep.Shards {
+			st.Add(fmt.Sprint(sl.Shard), fmt.Sprint(sl.Submitted),
+				sl.P50.Round(time.Microsecond).String(), sl.P99.Round(time.Microsecond).String())
+		}
+		fmt.Fprintln(w, st.String())
+	}
 
 	if rep.Drained != nil {
 		r := rep.Drained.Result

@@ -14,8 +14,17 @@
 //
 //	snserved                                  # 2x K40c, packing policy, :8080
 //	snserved -addr 127.0.0.1:9090 -policy priority -devices 4
+//	snserved -shards 8                        # 8 per-tenant sequencer shards
+//	snserved -snapshot-every 64               # compact status replays + enable checkpoints
+//	snserved -slo 5ms                         # shed load when submit p99 exceeds 5ms
 //	snserved -log requests.trace              # persist the replayable log
 //	snserved -exit-after-drain                # exit after an API drain (CI smoke)
+//
+// Tenants hash onto -shards independent sequencers; the shards' records
+// merge into one total order by slot number, so the request log — and
+// every result replayed from it — stays deterministic regardless of the
+// shard count. Structured logs (tenant, shard, seq, state transitions)
+// go to stderr; -log-level debug traces every accept/sequence.
 //
 // The API (all JSON unless noted):
 //
@@ -24,7 +33,8 @@
 //	GET  /v1/jobs/{id}   one job's status and projected schedule
 //	GET  /v1/metrics     cluster snapshot (?wait_jobs=N&wait_ms=M long-polls)
 //	POST /v1/drain       stop admission, flush, return the final schedule
-//	GET  /v1/replay-log  the deterministic request log (text/plain)
+//	GET  /v1/replay-log  the deterministic request log (?sharded=1 for per-shard sections)
+//	GET  /v1/checkpoint  resumable replay checkpoint (needs -snapshot-every)
 //	GET  /v1/healthz     liveness
 package main
 
@@ -34,6 +44,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -54,10 +65,14 @@ type options struct {
 	device         string
 	devices        int
 	policyArg      string
+	shards         int
 	queue          int
 	quota          int
 	spacingMS      int64
+	snapshotEvery  int
+	slo            time.Duration
 	logPath        string
+	logLevel       string
 	exitAfterDrain bool
 }
 
@@ -69,10 +84,14 @@ func main() {
 	flag.StringVar(&o.device, "device", "k40c", "device profile: k40c or titanxp")
 	flag.IntVar(&o.devices, "devices", 2, "number of GPUs in the cluster")
 	flag.StringVar(&o.policyArg, "policy", "packing", "scheduler policy: fifo, priority or packing")
-	flag.IntVar(&o.queue, "queue", serve.DefaultQueueDepth, "bounded admission queue depth")
+	flag.IntVar(&o.shards, "shards", 1, "per-tenant sequencer shards (tenants hash onto shards; results stay deterministic)")
+	flag.IntVar(&o.queue, "queue", serve.DefaultQueueDepth, "bounded admission queue depth per shard")
 	flag.IntVar(&o.quota, "tenant-quota", 0, "max jobs per tenant over the service lifetime (0 = unlimited)")
 	flag.Int64Var(&o.spacingMS, "spacing", 1, "virtual arrival gap between sequenced jobs (ms)")
+	flag.IntVar(&o.snapshotEvery, "snapshot-every", 0, "advance the resumable-replay watermark every N sequenced jobs (0 = replay full history)")
+	flag.DurationVar(&o.slo, "slo", 0, "submit-latency p99 target; when exceeded the service sheds load with Retry-After (0 = off)")
 	flag.StringVar(&o.logPath, "log", "", "write the deterministic request log to this file")
+	flag.StringVar(&o.logLevel, "log-level", "info", "structured log level on stderr: debug, info, warn or error")
 	flag.BoolVar(&o.exitAfterDrain, "exit-after-drain", false, "exit cleanly once a POST /v1/drain completes")
 	flag.Parse()
 
@@ -101,13 +120,25 @@ func run(ctx context.Context, o options, ready chan<- string, w io.Writer) error
 	if !ok {
 		return fmt.Errorf("unknown policy %q (have fifo, priority, packing)", o.policyArg)
 	}
+	var level slog.Level
+	if o.logLevel == "" {
+		o.logLevel = "info"
+	}
+	if err := level.UnmarshalText([]byte(o.logLevel)); err != nil {
+		return fmt.Errorf("unknown log level %q (have debug, info, warn, error)", o.logLevel)
+	}
+	lg := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
 	cfg := serve.Config{
-		Cluster:     sched.Cluster{Device: dev, Devices: o.devices},
-		Policy:      pol,
-		QueueDepth:  o.queue,
-		TenantQuota: o.quota,
-		SpacingMS:   o.spacingMS,
+		Cluster:       sched.Cluster{Device: dev, Devices: o.devices},
+		Policy:        pol,
+		Shards:        o.shards,
+		QueueDepth:    o.queue,
+		TenantQuota:   o.quota,
+		SpacingMS:     o.spacingMS,
+		SnapshotEvery: o.snapshotEvery,
+		SLOTargetP99:  o.slo,
+		Logger:        lg,
 	}
 	var logFile *os.File
 	if o.logPath != "" {
@@ -130,8 +161,8 @@ func run(ctx context.Context, o options, ready chan<- string, w io.Writer) error
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}
-	fmt.Fprintf(w, "snserved: listening on %s — %d x %s (%.2f GiB usable each), policy %s, queue %d\n",
-		ln.Addr(), o.devices, dev.Name, float64(dev.UsableBytes)/(1<<30), pol.Name, cfg.QueueDepth)
+	fmt.Fprintf(w, "snserved: listening on %s — %d x %s (%.2f GiB usable each), policy %s, %d shard(s), queue %d\n",
+		ln.Addr(), o.devices, dev.Name, float64(dev.UsableBytes)/(1<<30), pol.Name, svc.Shards(), cfg.QueueDepth)
 
 	server := &http.Server{Handler: svc.Handler()}
 	serveErr := make(chan error, 1)

@@ -1,0 +1,517 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/memmgr"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// The discrete-event core of the scheduler, shared verbatim by the
+// batch path (Scheduler.Run) and the resumable path (Incremental): one
+// code path means a paused-and-resumed replay cannot diverge from a
+// from-scratch replay.
+//
+// Events are plain data, not closures, for two reasons. First, a
+// paused execution can be deep-copied (Incremental.Clone) and
+// serialized (EncodeState) only if its in-flight events are
+// re-materializable; a closure capturing the original run's structs is
+// neither. Second, events carry an explicit (time, class, sequence)
+// key so the processing order is a total order over data: arrivals
+// sort before completions at the same virtual instant, matching the
+// batch scheduler's historical behavior (it posted every arrival
+// before draining, so at equal times an arrival's insertion sequence
+// was always lower). That tie rule is what makes incremental replay
+// provably identical to batch replay: both process the same event
+// multiset in the same key order, so they produce the same schedule
+// byte for byte.
+
+// Event classes: arrivals order before iteration completions at the
+// same virtual time (see the package comment above).
+const (
+	classArrival = 0
+	classDone    = 1
+)
+
+// event is one schedulable decision point.
+type event struct {
+	at    sim.Time
+	class uint8
+	seq   int64 // per-class monotone sequence, the final tie-break
+	job   int   // index into exec.states
+	dev   int   // device index (classDone only)
+}
+
+// before is the total event order: (time, class, sequence).
+func (a event) before(b event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.class != b.class {
+		return a.class < b.class
+	}
+	return a.seq < b.seq
+}
+
+// eventQueue is a hand-rolled binary min-heap over events. It avoids
+// container/heap so pushes do not box through interface{} — the
+// dispatch path runs once per training iteration of every job.
+type eventQueue []event
+
+func (q *eventQueue) push(ev event) {
+	*q = append(*q, ev)
+	h := *q
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h[i].before(h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+}
+
+func (q *eventQueue) pop() event {
+	h := *q
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	*q = h[:n]
+	h = h[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && h[l].before(h[m]) {
+			m = l
+		}
+		if r < n && h[r].before(h[m]) {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+	return top
+}
+
+// jobState is the scheduler's mutable view of one job.
+type jobState struct {
+	Job
+	seq int // input order, the deterministic tie-breaker
+	// rejReason is non-empty when admission rejected the job up front.
+	rejReason string
+	// est is the admission estimate: for dynamic jobs, the worst case
+	// over the schedule's distinct shapes.
+	est memmgr.Estimate
+	// iterTimes holds the per-schedule-position iteration durations
+	// (one entry for static jobs). Immutable after creation, so clones
+	// share it.
+	iterTimes []sim.Duration
+	remaining int
+	device    int
+	started   bool
+	start     sim.Time
+	finish    sim.Time
+	preempts  int
+	// marked is set when a preemptive policy has chosen this job as a
+	// victim; it vacates at its next iteration boundary.
+	marked bool
+	// running is set while an iteration is in flight on the engine.
+	running bool
+}
+
+// device is the scheduler's mutable view of one GPU. The serial
+// compute engine is modeled inline (freeAt/busy) rather than through
+// sim.Engine so a paused execution can be cloned and serialized; the
+// timestamp arithmetic is identical (a task starts at
+// max(issue, freeAt) and runs for its duration).
+type device struct {
+	freeAt   sim.Time
+	busy     sim.Duration
+	used     int64
+	peak     int64
+	resident []*jobState
+	rr       int // round-robin cursor into resident
+	inflight bool
+	iters    int
+
+	// memIntegral accumulates used×dt for the memory-utilization
+	// metric; lastT is the time of its last update.
+	memIntegral float64
+	lastT       sim.Time
+}
+
+func (d *device) setUsed(now sim.Time, delta int64) {
+	d.memIntegral += float64(d.used) * float64(now-d.lastT)
+	d.lastT = now
+	d.used += delta
+	if d.used > d.peak {
+		d.peak = d.used
+	}
+}
+
+// exec is one in-progress replay of a job stream over a cluster: the
+// states, devices, pending queue and event queue of the discrete-event
+// loop, advanced by processUntil.
+type exec struct {
+	cluster Cluster
+	policy  Policy
+	cap     int64
+	est     *Estimator
+
+	states  []*jobState
+	devs    []*device
+	pending []*jobState
+	q       eventQueue
+	doneSeq int64
+	now     sim.Time // time of the last processed event
+	runErr  error
+
+	// Running aggregates over finalized jobs, so a summary of a long
+	// history costs O(active), not O(history).
+	finCount int
+	rejCount int
+	sumJCT   sim.Duration
+	sumWait  sim.Duration
+}
+
+func newExec(c Cluster, p Policy, est *Estimator) (*exec, error) {
+	if c.Devices <= 0 {
+		return nil, fmt.Errorf("sched: cluster needs at least one device, got %d", c.Devices)
+	}
+	if c.Device.UsableBytes <= 0 {
+		return nil, fmt.Errorf("sched: device %q has no usable memory", c.Device.Name)
+	}
+	if p.Less == nil {
+		return nil, fmt.Errorf("sched: policy %q has no queue order", p.Name)
+	}
+	if est == nil {
+		est = NewEstimator()
+	}
+	e := &exec{cluster: c, policy: p, cap: c.Capacity(), est: est}
+	e.devs = make([]*device, c.Devices)
+	for i := range e.devs {
+		e.devs[i] = &device{}
+	}
+	return e, nil
+}
+
+// addJob estimates and appends one job, deciding up-front rejection.
+// It does not post the arrival event; callers do (batch posts in input
+// order, incremental as records merge).
+func (e *exec) addJob(j Job) (int, error) {
+	i := len(e.states)
+	if j.Iterations <= 0 {
+		j.Iterations = 1
+	}
+	if j.ID == "" {
+		j.ID = fmt.Sprintf("job%d", i)
+	}
+	batches := []int{j.Batch}
+	if len(j.BatchSchedule) > 0 {
+		sched := workload.Schedule(j.BatchSchedule)
+		if err := sched.Validate(); err != nil {
+			return -1, fmt.Errorf("sched: job %s: %w", j.ID, err)
+		}
+		batches = sched.Distinct()
+	}
+	perBatch := make(map[int]memmgr.Estimate, len(batches))
+	var worst memmgr.Estimate
+	rejReason := ""
+	for _, b := range batches {
+		est, err := e.est.Estimate(j.Network, b, j.Manager, e.cluster.Device)
+		if err != nil {
+			if isOOM(err) {
+				rejReason = fmt.Sprintf("batch %d exceeds device memory even alone", b)
+				break
+			}
+			return -1, fmt.Errorf("sched: job %s: %w", j.ID, err)
+		}
+		perBatch[b] = est
+		if est.PeakBytes > worst.PeakBytes {
+			worst = est
+		}
+	}
+	if rejReason != "" {
+		// Rejected before any shape estimated cleanly: the recorded
+		// Estimate stays zero, exactly as the batch scheduler always
+		// reported it.
+		e.states = append(e.states, &jobState{Job: j, seq: i, rejReason: rejReason})
+		e.rejCount++
+		return i, nil
+	}
+	if worst.PeakBytes > e.cap {
+		rejReason = fmt.Sprintf("predicted worst-case peak %d exceeds device capacity %d", worst.PeakBytes, e.cap)
+	}
+	iterTimes := []sim.Duration{worst.IterTime}
+	if len(j.BatchSchedule) > 0 {
+		iterTimes = make([]sim.Duration, len(j.BatchSchedule))
+		for k, b := range j.BatchSchedule {
+			iterTimes[k] = perBatch[b].IterTime
+		}
+	}
+	js := &jobState{Job: j, seq: i, rejReason: rejReason, est: worst, iterTimes: iterTimes, remaining: j.Iterations, device: -1}
+	if rejReason != "" {
+		js.remaining = 0
+		e.rejCount++
+	}
+	e.states = append(e.states, js)
+	return i, nil
+}
+
+// postArrival schedules job i's arrival event (no-op for rejected
+// jobs, which never enter the cluster). The arrival sequence is the
+// job index itself: input order, the same tie-break the batch
+// scheduler has always used for same-instant arrivals.
+func (e *exec) postArrival(i int) {
+	js := e.states[i]
+	if js.rejReason != "" {
+		return
+	}
+	e.q.push(event{at: js.Arrival, class: classArrival, seq: int64(i), job: i})
+}
+
+// processUntil runs events with time strictly below limit in
+// (time, class, seq) order; a negative limit drains everything.
+func (e *exec) processUntil(limit sim.Time) {
+	for len(e.q) > 0 {
+		if limit >= 0 && e.q[0].at >= limit {
+			return
+		}
+		ev := e.q.pop()
+		e.now = ev.at
+		switch ev.class {
+		case classArrival:
+			e.pending = append(e.pending, e.states[ev.job])
+			e.schedule(ev.at)
+		case classDone:
+			e.iterDone(e.states[ev.job], ev.dev, ev.at)
+		}
+	}
+}
+
+func (e *exec) fail(err error) {
+	if e.runErr == nil {
+		e.runErr = err
+	}
+}
+
+func (e *exec) schedule(now sim.Time) {
+	e.policy.schedule(&e.pending, e.devs, e.cap, now, e.admit, e.vacate)
+}
+
+// admit reserves the job's peak on the device and dispatches the
+// engine if idle.
+func (e *exec) admit(js *jobState, di int, now sim.Time) {
+	d := e.devs[di]
+	d.setUsed(now, js.est.PeakBytes)
+	if d.used > e.cap {
+		e.fail(fmt.Errorf("sched: admission overflow on gpu%d: %d > capacity %d (job %s)", di, d.used, e.cap, js.ID))
+	}
+	d.resident = append(d.resident, js)
+	js.device = di
+	if !js.started {
+		js.started = true
+		js.start = now
+	}
+	e.dispatch(d, di, now)
+}
+
+// vacate releases the job's reservation and drops it from the
+// device's resident set.
+func (e *exec) vacate(js *jobState, now sim.Time) {
+	d := e.devs[js.device]
+	for i, r := range d.resident {
+		if r == js {
+			d.resident = append(d.resident[:i], d.resident[i+1:]...)
+			if d.rr > i {
+				d.rr--
+			}
+			break
+		}
+	}
+	if len(d.resident) > 0 {
+		d.rr %= len(d.resident)
+	} else {
+		d.rr = 0
+	}
+	d.setUsed(now, -js.est.PeakBytes)
+}
+
+// dispatch submits the next resident iteration round-robin when the
+// engine is idle.
+func (e *exec) dispatch(d *device, di int, now sim.Time) {
+	if d.inflight || len(d.resident) == 0 {
+		return
+	}
+	n := len(d.resident)
+	for k := 0; k < n; k++ {
+		js := d.resident[(d.rr+k)%n]
+		if js.marked || js.remaining <= 0 {
+			continue
+		}
+		d.rr = (d.rr + k + 1) % n
+		d.inflight = true
+		js.running = true
+		start := now
+		if d.freeAt > start {
+			start = d.freeAt
+		}
+		dur := js.iterDur()
+		end := start + sim.Time(dur)
+		d.freeAt = end
+		d.busy += dur
+		e.doneSeq++
+		e.q.push(event{at: end, class: classDone, seq: e.doneSeq, job: js.seq, dev: di})
+		return
+	}
+}
+
+// iterDone handles one iteration-completion event.
+func (e *exec) iterDone(js *jobState, di int, now sim.Time) {
+	d := e.devs[di]
+	d.inflight = false
+	d.iters++
+	js.running = false
+	js.remaining--
+	switch {
+	case js.remaining == 0:
+		js.finish = now
+		e.finCount++
+		e.sumJCT += sim.Duration(js.finish - js.Arrival)
+		e.sumWait += sim.Duration(js.start - js.Arrival)
+		e.vacate(js, now)
+	case js.marked:
+		// Preempted at the iteration boundary: keep the completed
+		// iterations, release the reservation, re-queue.
+		js.marked = false
+		js.preempts++
+		e.vacate(js, now)
+		js.device = -1
+		e.pending = append(e.pending, js)
+	}
+	e.schedule(now)
+	e.dispatch(d, di, now)
+}
+
+// iterDur returns the duration of the job's next iteration: completed
+// iterations index the batch schedule, cycling past its end (static
+// jobs have a single entry).
+func (js *jobState) iterDur() sim.Duration {
+	done := js.Iterations - js.remaining
+	return js.iterTimes[done%len(js.iterTimes)]
+}
+
+// clone deep-copies the execution so the copy can be drained to
+// completion without disturbing the paused original. Finished and
+// rejected job states are immutable — the event loop never touches
+// them again — so the clone shares them and deep-copies only the
+// states the drain can still mutate (pending, resident, in-flight).
+func (e *exec) clone() *exec {
+	c := &exec{
+		cluster: e.cluster, policy: e.policy, cap: e.cap, est: e.est,
+		doneSeq: e.doneSeq, now: e.now, runErr: e.runErr,
+		finCount: e.finCount, rejCount: e.rejCount, sumJCT: e.sumJCT, sumWait: e.sumWait,
+	}
+	c.states = make([]*jobState, len(e.states))
+	copy(c.states, e.states)
+	// remap duplicates a live state once and rewrites the index.
+	remapped := make(map[*jobState]*jobState)
+	remap := func(js *jobState) *jobState {
+		if dup, ok := remapped[js]; ok {
+			return dup
+		}
+		dup := &jobState{}
+		*dup = *js
+		remapped[js] = dup
+		c.states[js.seq] = dup
+		return dup
+	}
+	c.devs = make([]*device, len(e.devs))
+	for i, d := range e.devs {
+		dd := &device{}
+		*dd = *d
+		dd.resident = make([]*jobState, len(d.resident))
+		for k, r := range d.resident {
+			dd.resident[k] = remap(r)
+		}
+		c.devs[i] = dd
+	}
+	c.pending = make([]*jobState, len(e.pending))
+	for i, p := range e.pending {
+		c.pending[i] = remap(p)
+	}
+	c.q = make(eventQueue, len(e.q))
+	copy(c.q, e.q)
+	for _, ev := range c.q {
+		if ev.class == classDone || ev.class == classArrival {
+			remap(e.states[ev.job])
+		}
+	}
+	return c
+}
+
+// jobResult renders job i's outcome. Valid for finalized jobs at any
+// time and for every job once the exec is drained.
+func (e *exec) jobResult(i int) JobResult {
+	js := e.states[i]
+	jr := JobResult{Job: js.Job, Estimate: js.est}
+	if js.rejReason != "" {
+		jr.Rejected = true
+		jr.Reason = js.rejReason
+		jr.Device = -1
+		return jr
+	}
+	jr.Device = js.device
+	jr.Start = js.start
+	jr.Finish = js.finish
+	jr.Wait = sim.Duration(js.start - js.Arrival)
+	jr.JCT = sim.Duration(js.finish - js.Arrival)
+	jr.Preemptions = js.preempts
+	return jr
+}
+
+// result assembles the full Result. The exec must be drained; the
+// device integrals are closed as a side effect, so call it once, on a
+// clone or at the end of a batch run.
+func (e *exec) result() (*Result, error) {
+	if e.runErr != nil {
+		return nil, e.runErr
+	}
+	for _, js := range e.states {
+		if js.rejReason == "" && js.remaining > 0 {
+			return nil, fmt.Errorf("sched: job %s stranded with %d iterations left (scheduler deadlock)", js.ID, js.remaining)
+		}
+	}
+	res := &Result{Policy: e.policy.Name, Cluster: e.cluster}
+	res.Jobs = make([]JobResult, len(e.states))
+	for i := range e.states {
+		res.Jobs[i] = e.jobResult(i)
+	}
+	end := e.now
+	res.Makespan = sim.Duration(end)
+	res.Devices = make([]DeviceStat, len(e.devs))
+	var busySum sim.Duration
+	var memSum float64
+	for i, d := range e.devs {
+		d.setUsed(end, 0) // close the integral
+		st := DeviceStat{Busy: d.busy, PeakReserved: d.peak, Iterations: d.iters}
+		if end > 0 {
+			st.BusyFrac = float64(st.Busy) / float64(end)
+			st.MemUtil = d.memIntegral / (float64(e.cap) * float64(end))
+		}
+		res.Devices[i] = st
+		busySum += st.Busy
+		memSum += d.memIntegral
+	}
+	if end > 0 {
+		res.Utilization = memSum / (float64(e.cap) * float64(len(e.devs)) * float64(end))
+		res.ComputeUtilization = float64(busySum) / (float64(len(e.devs)) * float64(end))
+	}
+	return res, nil
+}

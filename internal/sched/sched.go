@@ -26,8 +26,12 @@
 //     keeps its completed iterations, releases its reservation, and
 //     re-enters the pending queue.
 //
-// The whole simulation is a discrete-event loop over sim.Agenda, so
-// two runs of the same trace produce byte-identical results.
+// The whole simulation is a discrete-event loop over a typed
+// (time, class, sequence) event queue (see run.go), so two runs of the
+// same trace produce byte-identical results — and a paused, resumed or
+// snapshot-restored run (see Incremental) cannot diverge from a batch
+// run, because both drive the same exec through the same total event
+// order.
 package sched
 
 import (
@@ -36,7 +40,6 @@ import (
 	"repro/internal/hw"
 	"repro/internal/memmgr"
 	"repro/internal/sim"
-	"repro/internal/workload"
 )
 
 // Job is one training-job request in the workload stream.
@@ -172,54 +175,6 @@ func (r *Result) MeanWait() sim.Duration {
 	return sum / sim.Duration(len(adm))
 }
 
-// jobState is the scheduler's mutable view of one job.
-type jobState struct {
-	Job
-	seq int // input order, the deterministic tie-breaker
-	// est is the admission estimate: for dynamic jobs, the worst case
-	// over the schedule's distinct shapes.
-	est memmgr.Estimate
-	// iterTimes holds the per-schedule-position iteration durations
-	// (one entry for static jobs).
-	iterTimes []sim.Duration
-	remaining int
-	device    int
-	started   bool
-	start     sim.Time
-	finish    sim.Time
-	preempts  int
-	// marked is set when a preemptive policy has chosen this job as a
-	// victim; it vacates at its next iteration boundary.
-	marked bool
-	// running is set while an iteration is in flight on the engine.
-	running bool
-}
-
-// device is the scheduler's mutable view of one GPU.
-type device struct {
-	engine   *sim.Engine
-	used     int64
-	peak     int64
-	resident []*jobState
-	rr       int // round-robin cursor into resident
-	inflight bool
-	iters    int
-
-	// memIntegral accumulates used×dt for the memory-utilization
-	// metric; lastT is the time of its last update.
-	memIntegral float64
-	lastT       sim.Time
-}
-
-func (d *device) setUsed(now sim.Time, delta int64) {
-	d.memIntegral += float64(d.used) * float64(now-d.lastT)
-	d.lastT = now
-	d.used += delta
-	if d.used > d.peak {
-		d.peak = d.used
-	}
-}
-
 // Scheduler binds a cluster to a policy. It owns the dry-run estimate
 // memo: repeated Run calls on one scheduler share estimates, while two
 // schedulers (or clusters) never leak state into each other.
@@ -267,243 +222,26 @@ func NewSchedulerWithEstimator(c Cluster, p Policy, e *Estimator) (*Scheduler, e
 // schedule. The input slice is not mutated; jobs are identified by
 // input order for every deterministic tie-break.
 func (s *Scheduler) Run(jobs []Job) (*Result, error) {
-	cap := s.cluster.Capacity()
-
+	e, err := newExec(s.cluster, s.policy, s.est)
+	if err != nil {
+		return nil, err
+	}
 	// Dry-run every job's distinct shapes once for its admission
 	// estimate; jobs whose worst-case shape cannot fit an idle device
 	// are rejected up front. A dynamic job reserves its worst case for
 	// its whole residency — the memory guarantee — while each
 	// iteration is charged its own shape's measured duration.
-	states := make([]*jobState, len(jobs))
-	rejected := make(map[int]string)
-	for i, j := range jobs {
-		if j.Iterations <= 0 {
-			j.Iterations = 1
-		}
-		if j.ID == "" {
-			j.ID = fmt.Sprintf("job%d", i)
-		}
-		batches := []int{j.Batch}
-		if len(j.BatchSchedule) > 0 {
-			sched := workload.Schedule(j.BatchSchedule)
-			if err := sched.Validate(); err != nil {
-				return nil, fmt.Errorf("sched: job %s: %w", j.ID, err)
-			}
-			batches = sched.Distinct()
-		}
-		perBatch := make(map[int]memmgr.Estimate, len(batches))
-		var worst memmgr.Estimate
-		rejReason := ""
-		for _, b := range batches {
-			est, err := s.est.Estimate(j.Network, b, j.Manager, s.cluster.Device)
-			if err != nil {
-				if isOOM(err) {
-					rejReason = fmt.Sprintf("batch %d exceeds device memory even alone", b)
-					break
-				}
-				return nil, fmt.Errorf("sched: job %s: %w", j.ID, err)
-			}
-			perBatch[b] = est
-			if est.PeakBytes > worst.PeakBytes {
-				worst = est
-			}
-		}
-		if rejReason != "" {
-			rejected[i] = rejReason
-			states[i] = &jobState{Job: j, seq: i}
-			continue
-		}
-		if worst.PeakBytes > cap {
-			rejected[i] = fmt.Sprintf("predicted worst-case peak %d exceeds device capacity %d", worst.PeakBytes, cap)
-		}
-		iterTimes := []sim.Duration{worst.IterTime}
-		if len(j.BatchSchedule) > 0 {
-			iterTimes = make([]sim.Duration, len(j.BatchSchedule))
-			for k, b := range j.BatchSchedule {
-				iterTimes[k] = perBatch[b].IterTime
-			}
-		}
-		states[i] = &jobState{Job: j, seq: i, est: worst, iterTimes: iterTimes, remaining: j.Iterations, device: -1}
-	}
-
-	tl := sim.NewTimeline()
-	devs := make([]*device, s.cluster.Devices)
-	for i := range devs {
-		devs[i] = &device{engine: tl.NewEngine(fmt.Sprintf("gpu%d", i))}
-	}
-
-	var (
-		agenda  sim.Agenda
-		pending []*jobState
-		runErr  error
-	)
-
-	fail := func(err error) {
-		if runErr == nil {
-			runErr = err
+	for _, j := range jobs {
+		if _, err := e.addJob(j); err != nil {
+			return nil, err
 		}
 	}
-
-	// admit reserves the job's peak on the device and dispatches the
-	// engine if idle.
-	var dispatch func(d *device, now sim.Time)
-	admit := func(js *jobState, di int, now sim.Time) {
-		d := devs[di]
-		d.setUsed(now, js.est.PeakBytes)
-		if d.used > cap {
-			fail(fmt.Errorf("sched: admission overflow on gpu%d: %d > capacity %d (job %s)", di, d.used, cap, js.ID))
-		}
-		d.resident = append(d.resident, js)
-		js.device = di
-		if !js.started {
-			js.started = true
-			js.start = now
-		}
-		dispatch(d, now)
-	}
-
-	// vacate releases the job's reservation and drops it from the
-	// device's resident set.
-	vacate := func(js *jobState, now sim.Time) {
-		d := devs[js.device]
-		for i, r := range d.resident {
-			if r == js {
-				d.resident = append(d.resident[:i], d.resident[i+1:]...)
-				if d.rr > i {
-					d.rr--
-				}
-				break
-			}
-		}
-		if len(d.resident) > 0 {
-			d.rr %= len(d.resident)
-		} else {
-			d.rr = 0
-		}
-		d.setUsed(now, -js.est.PeakBytes)
-	}
-
-	// dispatch submits the next resident iteration round-robin when
-	// the engine is idle.
-	dispatch = func(d *device, now sim.Time) {
-		if d.inflight || len(d.resident) == 0 {
-			return
-		}
-		n := len(d.resident)
-		for k := 0; k < n; k++ {
-			js := d.resident[(d.rr+k)%n]
-			if js.marked || js.remaining <= 0 {
-				continue
-			}
-			d.rr = (d.rr + k + 1) % n
-			d.inflight = true
-			js.running = true
-			ev := d.engine.Submit(now, js.iterDur())
-			agenda.Post(ev.At(), func(t sim.Time) { iterDone(&pending, js, d, t, admit, vacate, dispatch, s.policy, devs, cap) })
-			return
-		}
-	}
-
-	schedule := func(now sim.Time) {
-		s.policy.schedule(&pending, devs, cap, now, admit, vacate)
-	}
-
 	// Arrivals, in input order for same-instant determinism.
-	for i, js := range states {
-		if _, ok := rejected[i]; ok {
-			js.remaining = 0
-			continue
-		}
-		j := js
-		agenda.Post(j.Arrival, func(t sim.Time) {
-			pending = append(pending, j)
-			schedule(t)
-		})
+	for i := range e.states {
+		e.postArrival(i)
 	}
-
-	end := agenda.Drain()
-	if runErr != nil {
-		return nil, runErr
-	}
-	for _, js := range states {
-		if _, rej := rejected[js.seq]; rej {
-			continue
-		}
-		if js.remaining > 0 {
-			return nil, fmt.Errorf("sched: job %s stranded with %d iterations left (scheduler deadlock)", js.ID, js.remaining)
-		}
-	}
-
-	res := &Result{Policy: s.policy.Name, Cluster: s.cluster}
-	for i, js := range states {
-		jr := JobResult{Job: js.Job, Estimate: js.est}
-		if reason, rej := rejected[i]; rej {
-			jr.Rejected = true
-			jr.Reason = reason
-			jr.Device = -1
-		} else {
-			jr.Device = js.device
-			jr.Start = js.start
-			jr.Finish = js.finish
-			jr.Wait = sim.Duration(js.start - js.Arrival)
-			jr.JCT = sim.Duration(js.finish - js.Arrival)
-			jr.Preemptions = js.preempts
-		}
-		res.Jobs = append(res.Jobs, jr)
-	}
-	res.Makespan = sim.Duration(end)
-	res.Devices = make([]DeviceStat, len(devs))
-	var busySum sim.Duration
-	var memSum float64
-	for i, d := range devs {
-		d.setUsed(end, 0) // close the integral
-		st := DeviceStat{Busy: d.engine.BusyTime(), PeakReserved: d.peak, Iterations: d.iters}
-		if end > 0 {
-			st.BusyFrac = float64(st.Busy) / float64(end)
-			st.MemUtil = d.memIntegral / (float64(cap) * float64(end))
-		}
-		res.Devices[i] = st
-		busySum += st.Busy
-		memSum += d.memIntegral
-	}
-	if end > 0 {
-		res.Utilization = memSum / (float64(cap) * float64(len(devs)) * float64(end))
-		res.ComputeUtilization = float64(busySum) / (float64(len(devs)) * float64(end))
-	}
-	return res, nil
-}
-
-// iterDur returns the duration of the job's next iteration: completed
-// iterations index the batch schedule, cycling past its end (static
-// jobs have a single entry).
-func (js *jobState) iterDur() sim.Duration {
-	done := js.Iterations - js.remaining
-	return js.iterTimes[done%len(js.iterTimes)]
-}
-
-// iterDone handles one iteration-completion event.
-func iterDone(pending *[]*jobState, js *jobState, d *device, now sim.Time,
-	admit func(*jobState, int, sim.Time), vacate func(*jobState, sim.Time),
-	dispatch func(*device, sim.Time), p Policy, devs []*device, cap int64) {
-	d.inflight = false
-	d.iters++
-	js.running = false
-	js.remaining--
-	switch {
-	case js.remaining == 0:
-		js.finish = now
-		vacate(js, now)
-	case js.marked:
-		// Preempted at the iteration boundary: keep the completed
-		// iterations, release the reservation, re-queue.
-		js.marked = false
-		js.preempts++
-		vacate(js, now)
-		js.device = -1
-		*pending = append(*pending, js)
-	}
-	p.schedule(pending, devs, cap, now, admit, vacate)
-	dispatch(d, now)
+	e.processUntil(-1)
+	return e.result()
 }
 
 // isOOM reports whether the dry run failed for capacity reasons.

@@ -1,0 +1,526 @@
+package sched
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"math"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"repro/internal/hw"
+	"repro/internal/sim"
+)
+
+// Snapshot serialization for a paused Incremental replay: the serving
+// layer's log-compaction checkpoint. The format is line-based text —
+// one keyword-prefixed record per line — so checkpoints diff cleanly
+// and corruption is locatable. Floats round-trip exactly through their
+// IEEE-754 bit patterns (the estimator key embeds the device spec, so
+// a restored spec must compare equal bit for bit), and strings through
+// percent-encoding (device names contain spaces, and every field must
+// survive a whitespace split). The decoder is
+// defensive: every record is bounds-checked, every index validated,
+// and malformed or truncated input returns an error — never a panic —
+// which FuzzRestoreIncremental enforces.
+
+// snapMagic identifies the format; the version suffix gates future
+// layout changes.
+const snapMagic = "snsnap 1"
+
+// EncodeSnapshot serializes the paused replay. Restoring the bytes
+// with RestoreIncremental yields an Incremental whose Result() is
+// byte-identical to the original's.
+func EncodeSnapshot(inc *Incremental) []byte {
+	e := inc.ex
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "%s\n", snapMagic)
+	fmt.Fprintf(&b, "policy %s\n", e.policy.Name)
+	d := e.cluster.Device
+	fmt.Fprintf(&b, "device %s %d %d %s %s %d %d %d %d %s %s\n",
+		qstr(d.Name), d.DRAMBytes, d.UsableBytes,
+		fbits(d.PeakFLOPS), fbits(d.MemBWBytes),
+		int64(d.KernelLaunch), int64(d.CudaMalloc), int64(d.CudaFree), int64(d.PoolOp),
+		fbits(d.EffScale), fbits(d.MemEffScale))
+	fmt.Fprintf(&b, "devices %d\n", e.cluster.Devices)
+	fmt.Fprintf(&b, "clock %d %d %d\n", int64(inc.mark), int64(e.now), e.doneSeq)
+	fmt.Fprintf(&b, "agg %d %d %d %d\n", e.finCount, e.rejCount, int64(e.sumJCT), int64(e.sumWait))
+
+	fmt.Fprintf(&b, "jobs %d\n", len(e.states))
+	for i, js := range e.states {
+		fmt.Fprintf(&b, "job %d %s %s %s %d %d %d %d %s\n",
+			i, qstr(js.ID), qstr(js.Network), qstr(js.Manager),
+			js.Batch, js.Priority, int64(js.Arrival), js.Iterations, intList(js.BatchSchedule))
+		fmt.Fprintf(&b, "state %d %s %d %d %s %d %d %d %d %d %d %d %d",
+			i, qstr(js.rejReason),
+			js.est.PeakBytes, int64(js.est.IterTime), fbits(js.est.Throughput),
+			js.remaining, js.device, b2i(js.started), int64(js.start), int64(js.finish),
+			js.preempts, b2i(js.marked), b2i(js.running))
+		fmt.Fprintf(&b, " %d", len(js.iterTimes))
+		for _, t := range js.iterTimes {
+			fmt.Fprintf(&b, " %d", int64(t))
+		}
+		b.WriteByte('\n')
+	}
+
+	for i, d := range e.devs {
+		fmt.Fprintf(&b, "dev %d %d %d %d %d %d %d %d %s %d",
+			i, int64(d.freeAt), int64(d.busy), d.used, d.peak, d.rr, b2i(d.inflight),
+			d.iters, fbits(d.memIntegral), int64(d.lastT))
+		fmt.Fprintf(&b, " %d", len(d.resident))
+		for _, r := range d.resident {
+			fmt.Fprintf(&b, " %d", r.seq)
+		}
+		b.WriteByte('\n')
+	}
+
+	fmt.Fprintf(&b, "pending %d", len(e.pending))
+	for _, p := range e.pending {
+		fmt.Fprintf(&b, " %d", p.seq)
+	}
+	b.WriteByte('\n')
+
+	fmt.Fprintf(&b, "events %d\n", len(e.q))
+	for _, ev := range e.q {
+		fmt.Fprintf(&b, "ev %d %d %d %d %d\n", int64(ev.at), ev.class, ev.seq, ev.job, ev.dev)
+	}
+	fmt.Fprintf(&b, "end\n")
+	return b.Bytes()
+}
+
+// RestoreIncremental reconstructs a paused replay from EncodeSnapshot
+// bytes. The estimator est seeds dry-run estimates for jobs appended
+// after the restore (nil allocates a fresh one); already-snapshotted
+// jobs carry their estimates in the snapshot.
+func RestoreIncremental(data []byte, est *Estimator) (*Incremental, error) {
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	r := &snapReader{sc: sc}
+
+	if line := r.next(); line != snapMagic {
+		return nil, fmt.Errorf("sched: snapshot: bad magic %q", line)
+	}
+
+	f := r.fields("policy", 2)
+	if r.err != nil {
+		return nil, r.err
+	}
+	policy, ok := PolicyByName(f[1])
+	if !ok {
+		return nil, fmt.Errorf("sched: snapshot: unknown policy %q", f[1])
+	}
+
+	f = r.fields("device", 12)
+	if r.err != nil {
+		return nil, r.err
+	}
+	var spec hw.DeviceSpec
+	spec.Name = r.unquote(f[1])
+	spec.DRAMBytes = r.i64(f[2])
+	spec.UsableBytes = r.i64(f[3])
+	spec.PeakFLOPS = r.f64(f[4])
+	spec.MemBWBytes = r.f64(f[5])
+	spec.KernelLaunch = sim.Duration(r.i64(f[6]))
+	spec.CudaMalloc = sim.Duration(r.i64(f[7]))
+	spec.CudaFree = sim.Duration(r.i64(f[8]))
+	spec.PoolOp = sim.Duration(r.i64(f[9]))
+	spec.EffScale = r.f64(f[10])
+	spec.MemEffScale = r.f64(f[11])
+
+	f = r.fields("devices", 2)
+	ndev := r.count(f, 1, 1<<16)
+	f = r.fields("clock", 4)
+	if r.err != nil {
+		return nil, r.err
+	}
+	mark := sim.Time(r.i64(f[1]))
+	now := sim.Time(r.i64(f[2]))
+	doneSeq := r.i64(f[3])
+	f = r.fields("agg", 5)
+	if r.err != nil {
+		return nil, r.err
+	}
+	finCount := int(r.i64(f[1]))
+	rejCount := int(r.i64(f[2]))
+	sumJCT := sim.Duration(r.i64(f[3]))
+	sumWait := sim.Duration(r.i64(f[4]))
+
+	ex, err := newExec(Cluster{Device: spec, Devices: ndev}, policy, est)
+	if err != nil {
+		if r.err != nil {
+			return nil, r.err
+		}
+		return nil, fmt.Errorf("sched: snapshot: %w", err)
+	}
+	ex.now = now
+	ex.doneSeq = doneSeq
+	ex.finCount = finCount
+	ex.rejCount = rejCount
+	ex.sumJCT = sumJCT
+	ex.sumWait = sumWait
+
+	f = r.fields("jobs", 2)
+	njobs := r.count(f, 1, 1<<24)
+	if r.err != nil {
+		return nil, r.err
+	}
+	for i := 0; i < njobs && r.err == nil; i++ {
+		f = r.fields("job", 10)
+		if r.err != nil {
+			break
+		}
+		if int(r.i64(f[1])) != i {
+			return nil, fmt.Errorf("sched: snapshot: job record %s out of order (want %d)", f[1], i)
+		}
+		js := &jobState{seq: i}
+		js.ID = r.unquote(f[2])
+		js.Network = r.unquote(f[3])
+		js.Manager = r.unquote(f[4])
+		js.Batch = int(r.i64(f[5]))
+		js.Priority = int(r.i64(f[6]))
+		js.Arrival = sim.Time(r.i64(f[7]))
+		js.Iterations = int(r.i64(f[8]))
+		js.BatchSchedule = r.ints(f[9])
+
+		f = r.fields("state", 15)
+		if r.err != nil {
+			break
+		}
+		if int(r.i64(f[1])) != i {
+			return nil, fmt.Errorf("sched: snapshot: state record %s out of order (want %d)", f[1], i)
+		}
+		js.rejReason = r.unquote(f[2])
+		js.est.PeakBytes = r.i64(f[3])
+		js.est.IterTime = sim.Duration(r.i64(f[4]))
+		js.est.Throughput = r.f64(f[5])
+		js.remaining = int(r.i64(f[6]))
+		js.device = int(r.i64(f[7]))
+		js.started = r.i64(f[8]) != 0
+		js.start = sim.Time(r.i64(f[9]))
+		js.finish = sim.Time(r.i64(f[10]))
+		js.preempts = int(r.i64(f[11]))
+		js.marked = r.i64(f[12]) != 0
+		js.running = r.i64(f[13]) != 0
+		nit := r.count(f, 14, 1<<20)
+		if r.err != nil {
+			break
+		}
+		rest := r.tail(14 + 1)
+		if len(rest) != nit {
+			return nil, fmt.Errorf("sched: snapshot: job %d: %d iteration times declared, %d present", i, nit, len(rest))
+		}
+		js.iterTimes = make([]sim.Duration, 0, len(rest))
+		for _, s := range rest {
+			js.iterTimes = append(js.iterTimes, sim.Duration(r.i64(s)))
+		}
+		// Resume safety: these invariants are what the event loop
+		// relies on to never index out of range, so a corrupted
+		// snapshot must fail here, not panic later.
+		if js.Iterations < 1 {
+			return nil, fmt.Errorf("sched: snapshot: job %d has %d iterations", i, js.Iterations)
+		}
+		if js.rejReason == "" {
+			if len(js.iterTimes) == 0 {
+				return nil, fmt.Errorf("sched: snapshot: job %d has no iteration times", i)
+			}
+			if js.remaining < 0 || js.remaining > js.Iterations {
+				return nil, fmt.Errorf("sched: snapshot: job %d has %d of %d iterations remaining", i, js.remaining, js.Iterations)
+			}
+			if js.device < -1 || js.device >= ndev {
+				return nil, fmt.Errorf("sched: snapshot: job %d on device %d of %d", i, js.device, ndev)
+			}
+		}
+		ex.states = append(ex.states, js)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+
+	jobAt := func(idx int64, what string) (*jobState, error) {
+		if idx < 0 || idx >= int64(len(ex.states)) {
+			return nil, fmt.Errorf("sched: snapshot: %s references job %d of %d", what, idx, len(ex.states))
+		}
+		return ex.states[idx], nil
+	}
+
+	for i := 0; i < ndev && r.err == nil; i++ {
+		f = r.fields("dev", 12)
+		if r.err != nil {
+			break
+		}
+		if int(r.i64(f[1])) != i {
+			return nil, fmt.Errorf("sched: snapshot: dev record %s out of order (want %d)", f[1], i)
+		}
+		d := ex.devs[i]
+		d.freeAt = sim.Time(r.i64(f[2]))
+		d.busy = sim.Duration(r.i64(f[3]))
+		d.used = r.i64(f[4])
+		d.peak = r.i64(f[5])
+		d.rr = int(r.i64(f[6]))
+		d.inflight = r.i64(f[7]) != 0
+		d.iters = int(r.i64(f[8]))
+		d.memIntegral = r.f64(f[9])
+		d.lastT = sim.Time(r.i64(f[10]))
+		nres := r.count(f, 11, 1<<24)
+		if r.err != nil {
+			break
+		}
+		rest := r.tail(12)
+		if len(rest) != nres {
+			return nil, fmt.Errorf("sched: snapshot: dev %d: %d residents declared, %d present", i, nres, len(rest))
+		}
+		for _, s := range rest {
+			js, err := jobAt(r.i64(s), "resident list")
+			if err != nil {
+				return nil, err
+			}
+			if js.device != i {
+				return nil, fmt.Errorf("sched: snapshot: job %d resident on dev %d but placed on %d", js.seq, i, js.device)
+			}
+			d.resident = append(d.resident, js)
+		}
+		if len(d.resident) > 0 {
+			if d.rr < 0 || d.rr >= len(d.resident) {
+				return nil, fmt.Errorf("sched: snapshot: dev %d: round-robin cursor %d out of range", i, d.rr)
+			}
+		} else if d.rr != 0 {
+			return nil, fmt.Errorf("sched: snapshot: dev %d: round-robin cursor %d with no residents", i, d.rr)
+		}
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+
+	f = r.fields("pending", 2)
+	npend := r.count(f, 1, 1<<24)
+	if r.err != nil {
+		return nil, r.err
+	}
+	rest := r.tail(2)
+	if len(rest) != npend {
+		return nil, fmt.Errorf("sched: snapshot: %d pending declared, %d present", npend, len(rest))
+	}
+	for _, s := range rest {
+		js, err := jobAt(r.i64(s), "pending list")
+		if err != nil {
+			return nil, err
+		}
+		ex.pending = append(ex.pending, js)
+	}
+
+	f = r.fields("events", 2)
+	nev := r.count(f, 1, 1<<24)
+	if r.err != nil {
+		return nil, r.err
+	}
+	for k := 0; k < nev && r.err == nil; k++ {
+		f = r.fields("ev", 6)
+		if r.err != nil {
+			break
+		}
+		ev := event{
+			at:    sim.Time(r.i64(f[1])),
+			class: uint8(r.i64(f[2])),
+			seq:   r.i64(f[3]),
+			job:   int(r.i64(f[4])),
+			dev:   int(r.i64(f[5])),
+		}
+		if ev.class != classArrival && ev.class != classDone {
+			return nil, fmt.Errorf("sched: snapshot: event %d has class %d", k, ev.class)
+		}
+		if _, err := jobAt(int64(ev.job), "event"); err != nil {
+			return nil, err
+		}
+		if ev.dev < 0 || ev.dev >= ndev {
+			return nil, fmt.Errorf("sched: snapshot: event %d references device %d of %d", k, ev.dev, ndev)
+		}
+		ex.q.push(ev)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if line := r.next(); line != "end" {
+		if r.err != nil {
+			return nil, r.err
+		}
+		return nil, fmt.Errorf("sched: snapshot: want end marker, got %q", line)
+	}
+	return &Incremental{ex: ex, mark: mark}, nil
+}
+
+// fbits encodes a float exactly as its IEEE-754 bit pattern in hex.
+func fbits(v float64) string {
+	return "0x" + strconv.FormatUint(math.Float64bits(v), 16)
+}
+
+// qstr percent-encodes a string into a single whitespace-free field;
+// the empty string becomes "-" (and a literal "-" is escaped so the
+// two cannot collide).
+func qstr(s string) string {
+	if s == "" {
+		return "-"
+	}
+	e := url.QueryEscape(s)
+	if e == "-" {
+		return "%2D"
+	}
+	return e
+}
+
+// intList renders ints comma-separated, "-" when empty.
+func intList(v []int) string {
+	if len(v) == 0 {
+		return "-"
+	}
+	var b strings.Builder
+	for i, x := range v {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(x))
+	}
+	return b.String()
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// snapReader is a line scanner with sticky error handling: every
+// accessor records the first failure and returns a zero value, so the
+// decode path stays linear and cannot panic on malformed input.
+type snapReader struct {
+	sc   *bufio.Scanner
+	err  error
+	line int
+	cur  []string
+}
+
+func (r *snapReader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("sched: snapshot line %d: %s", r.line, fmt.Sprintf(format, args...))
+	}
+}
+
+// next returns the next line, "" at EOF (recorded as an error).
+func (r *snapReader) next() string {
+	if r.err != nil {
+		return ""
+	}
+	if !r.sc.Scan() {
+		if err := r.sc.Err(); err != nil {
+			r.err = fmt.Errorf("sched: snapshot: %w", err)
+		} else {
+			r.fail("unexpected end of snapshot")
+		}
+		return ""
+	}
+	r.line++
+	return r.sc.Text()
+}
+
+// fields reads the next line, checks its keyword and that it has at
+// least min fields, and returns them (also retained for tail).
+func (r *snapReader) fields(keyword string, min int) []string {
+	line := r.next()
+	if r.err != nil {
+		return nil
+	}
+	f := strings.Fields(line)
+	if len(f) == 0 || f[0] != keyword {
+		r.fail("want %q record, got %q", keyword, line)
+		return nil
+	}
+	if len(f) < min {
+		r.fail("%q record needs %d fields, got %d", keyword, min, len(f))
+		return nil
+	}
+	r.cur = f
+	return f
+}
+
+// tail returns the current record's fields from position from on.
+func (r *snapReader) tail(from int) []string {
+	if r.err != nil || from >= len(r.cur) {
+		return nil
+	}
+	return r.cur[from:]
+}
+
+// count parses field i of f as a count in [0, max].
+func (r *snapReader) count(f []string, i, max int) int {
+	if r.err != nil || i >= len(f) {
+		return 0
+	}
+	n := r.i64(f[i])
+	if n < 0 || n > int64(max) {
+		r.fail("count %d out of range [0,%d]", n, max)
+		return 0
+	}
+	return int(n)
+}
+
+func (r *snapReader) i64(s string) int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		r.fail("bad integer %q", s)
+		return 0
+	}
+	return v
+}
+
+func (r *snapReader) f64(s string) float64 {
+	if r.err != nil {
+		return 0
+	}
+	if !strings.HasPrefix(s, "0x") {
+		r.fail("bad float bits %q", s)
+		return 0
+	}
+	v, err := strconv.ParseUint(s[2:], 16, 64)
+	if err != nil {
+		r.fail("bad float bits %q", s)
+		return 0
+	}
+	return math.Float64frombits(v)
+}
+
+func (r *snapReader) unquote(s string) string {
+	if r.err != nil {
+		return ""
+	}
+	if s == "-" {
+		return ""
+	}
+	v, err := url.QueryUnescape(s)
+	if err != nil {
+		r.fail("bad encoded string %q", s)
+		return ""
+	}
+	return v
+}
+
+// ints parses a comma-separated int list; "-" is empty.
+func (r *snapReader) ints(s string) []int {
+	if r.err != nil || s == "-" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			r.fail("bad int list entry %q", p)
+			return nil
+		}
+		out = append(out, v)
+	}
+	return out
+}

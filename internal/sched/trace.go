@@ -5,21 +5,26 @@ import (
 	"repro/internal/workload"
 )
 
-// JobsFromTrace converts workload trace entries (millisecond
-// arrivals) into scheduler jobs.
+// JobFromTrace converts one workload trace entry (millisecond
+// arrival) into a scheduler job.
+func JobFromTrace(t workload.TraceJob) Job {
+	return Job{
+		ID:            t.ID,
+		Network:       t.Network,
+		Batch:         t.Batch,
+		BatchSchedule: t.BatchSchedule,
+		Manager:       t.Manager,
+		Priority:      t.Priority,
+		Arrival:       sim.Time(t.ArrivalMS) * sim.Time(sim.Millisecond),
+		Iterations:    t.Iterations,
+	}
+}
+
+// JobsFromTrace converts workload trace entries into scheduler jobs.
 func JobsFromTrace(ts []workload.TraceJob) []Job {
 	out := make([]Job, len(ts))
 	for i, t := range ts {
-		out[i] = Job{
-			ID:            t.ID,
-			Network:       t.Network,
-			Batch:         t.Batch,
-			BatchSchedule: t.BatchSchedule,
-			Manager:       t.Manager,
-			Priority:      t.Priority,
-			Arrival:       sim.Time(t.ArrivalMS) * sim.Time(sim.Millisecond),
-			Iterations:    t.Iterations,
-		}
+		out[i] = JobFromTrace(t)
 	}
 	return out
 }

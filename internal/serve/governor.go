@@ -1,0 +1,82 @@
+package serve
+
+// The admission governor is the SLO-aware half of backpressure: the
+// queue-depth watermark bounds memory, the governor bounds latency.
+// It tracks the service's own submit latency over a sliding window
+// and, when the windowed p99 exceeds the configured target, sheds
+// load (Submit fails fast with ErrOverloaded + Retry-After) until the
+// p99 recovers. Shed-path latencies are observed too — shedding is
+// cheap, so the window drains toward fast samples and the governor
+// un-sheds on its own; hysteresis (recover below 80% of the target)
+// keeps it from flapping at the boundary.
+
+import (
+	"log/slog"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+const (
+	governorWindow  = 256 // latency samples retained
+	governorRecalc  = 64  // recompute p99 every this many samples
+	governorMinObs  = 64  // no verdict before this many samples
+	governorRecover = 0.8 // un-shed below this fraction of the SLO
+)
+
+type governor struct {
+	slo time.Duration
+	lg  *slog.Logger
+
+	mu      sync.Mutex
+	window  []time.Duration // ring buffer once full
+	idx     int
+	since   int
+	scratch []time.Duration // preallocated sort buffer
+	p99     time.Duration
+
+	shed atomic.Bool
+}
+
+func newGovernor(slo time.Duration, lg *slog.Logger) *governor {
+	return &governor{
+		slo:     slo,
+		lg:      lg,
+		window:  make([]time.Duration, 0, governorWindow),
+		scratch: make([]time.Duration, 0, governorWindow),
+	}
+}
+
+// shedding reports whether submissions should fail fast right now.
+func (g *governor) shedding() bool { return g.shed.Load() }
+
+// observe records one submit latency and periodically re-evaluates the
+// shed decision.
+func (g *governor) observe(d time.Duration) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if len(g.window) < governorWindow {
+		g.window = append(g.window, d)
+	} else {
+		g.window[g.idx] = d
+		g.idx = (g.idx + 1) % governorWindow
+	}
+	g.since++
+	if g.since < governorRecalc || len(g.window) < governorMinObs {
+		return
+	}
+	g.since = 0
+	g.scratch = append(g.scratch[:0], g.window...)
+	sort.Slice(g.scratch, func(i, j int) bool { return g.scratch[i] < g.scratch[j] })
+	g.p99 = g.scratch[len(g.scratch)*99/100]
+	if g.shed.Load() {
+		if float64(g.p99) < governorRecover*float64(g.slo) {
+			g.shed.Store(false)
+			g.lg.Info("load shed cleared", "p99", g.p99, "slo", g.slo)
+		}
+	} else if g.p99 > g.slo {
+		g.shed.Store(true)
+		g.lg.Warn("shedding load", "p99", g.p99, "slo", g.slo)
+	}
+}

@@ -55,12 +55,32 @@ func errCode(err error) (int, string) {
 		return http.StatusTooManyRequests, "queue_full"
 	case errors.Is(err, ErrQuota):
 		return http.StatusTooManyRequests, "quota"
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusTooManyRequests, "overloaded"
 	case errors.Is(err, ErrDraining):
 		return http.StatusServiceUnavailable, "draining"
 	case errors.Is(err, ErrUnknownJob):
 		return http.StatusNotFound, "unknown_job"
 	default:
 		return http.StatusInternalServerError, "internal"
+	}
+}
+
+// readBody drains r into buf (reusing its capacity) and returns the
+// filled slice.
+func readBody(r io.Reader, buf []byte) ([]byte, error) {
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := r.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			return buf, nil
+		}
+		if err != nil {
+			return buf, err
+		}
 	}
 }
 
@@ -74,6 +94,12 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeErr(w http.ResponseWriter, err error) {
 	status, code := errCode(err)
+	// Backpressure errors carry a retry hint for well-behaved clients.
+	var re *RetryableError
+	if errors.As(err, &re) && re.RetryAfter > 0 {
+		secs := int64((re.RetryAfter + time.Second - 1) / time.Second)
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	}
 	writeJSON(w, status, apiError{Error: err.Error(), Code: code})
 }
 
@@ -88,8 +114,18 @@ func (s *Service) Handler() http.Handler {
 	})
 
 	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		// The submit hot path avoids encoding/json on both sides:
+		// pooled read/render buffers, a non-allocating decoder, an
+		// append-style encoder.
+		buf := ingestBufs.Get().(*ingestBuf)
+		defer ingestBufs.Put(buf)
+		var err error
+		if buf.body, err = readBody(r.Body, buf.body[:0]); err != nil {
+			writeErr(w, fmt.Errorf("%w: body: %v", ErrBadRequest, err))
+			return
+		}
 		var req SubmitRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		if err := DecodeSubmitRequest(buf.body, &req); err != nil {
 			writeErr(w, fmt.Errorf("%w: body: %v", ErrBadRequest, err))
 			return
 		}
@@ -98,7 +134,10 @@ func (s *Service) Handler() http.Handler {
 			writeErr(w, err)
 			return
 		}
-		writeJSON(w, http.StatusAccepted, st)
+		buf.out = appendJobStatusJSON(buf.out[:0], st)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		_, _ = w.Write(buf.out)
 	})
 
 	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
@@ -152,7 +191,25 @@ func (s *Service) Handler() http.Handler {
 
 	mux.HandleFunc("GET /v1/replay-log", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if r.URL.Query().Get("sharded") != "" {
+			_, _ = io.WriteString(w, s.ShardedReplayLog())
+			return
+		}
 		_, _ = io.WriteString(w, s.ReplayLog())
+	})
+
+	mux.HandleFunc("GET /v1/checkpoint", func(w http.ResponseWriter, r *http.Request) {
+		data, err := s.Checkpoint()
+		if err != nil {
+			if errors.Is(err, ErrNoCheckpoint) {
+				writeJSON(w, http.StatusNotFound, apiError{Error: err.Error(), Code: "no_checkpoint"})
+				return
+			}
+			writeErr(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		_, _ = w.Write(data)
 	})
 
 	return mux
@@ -172,6 +229,9 @@ type APIError struct {
 	Status  int
 	Code    string
 	Message string
+	// RetryAfter is the server's backpressure hint (from the
+	// Retry-After header), zero when absent.
+	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {
@@ -190,6 +250,8 @@ func (e *APIError) Unwrap() error {
 		return ErrQueueFull
 	case "quota":
 		return ErrQuota
+	case "overloaded":
+		return ErrOverloaded
 	case "draining":
 		return ErrDraining
 	case "unknown_job":
@@ -232,11 +294,15 @@ func (c *Client) do(method, path string, body, out any) error {
 		return err
 	}
 	if resp.StatusCode >= 300 {
+		var retry time.Duration
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+			retry = time.Duration(secs) * time.Second
+		}
 		var ae apiError
 		if json.Unmarshal(data, &ae) == nil && ae.Code != "" {
-			return &APIError{Status: resp.StatusCode, Code: ae.Code, Message: ae.Error}
+			return &APIError{Status: resp.StatusCode, Code: ae.Code, Message: ae.Error, RetryAfter: retry}
 		}
-		return &APIError{Status: resp.StatusCode, Code: "http", Message: string(data)}
+		return &APIError{Status: resp.StatusCode, Code: "http", Message: string(data), RetryAfter: retry}
 	}
 	if out == nil {
 		return nil
@@ -315,6 +381,28 @@ func (c *Client) ReplayLog() (string, error) {
 		return "", fmt.Errorf("serve: replay-log: http %d", resp.StatusCode)
 	}
 	return string(data), nil
+}
+
+// Checkpoint fetches the service's compaction checkpoint (404 when
+// SnapshotEvery is off).
+func (c *Client) Checkpoint() ([]byte, error) {
+	resp, err := c.httpClient().Get(c.BaseURL + "/v1/checkpoint")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var ae apiError
+		if json.Unmarshal(data, &ae) == nil && ae.Code != "" {
+			return nil, &APIError{Status: resp.StatusCode, Code: ae.Code, Message: ae.Error}
+		}
+		return nil, fmt.Errorf("serve: checkpoint: http %d", resp.StatusCode)
+	}
+	return data, nil
 }
 
 // Healthz reports whether the service answers its liveness probe.

@@ -1,0 +1,589 @@
+package serve
+
+// The zero-churn ingest path. encoding/json's generic decoder
+// allocates per field (reflection scratch, string headers, interface
+// boxes); at serving rates that churn dominates the submit hot path.
+// SubmitRequest is a small flat object, so a hand-rolled scanner
+// decodes it with zero heap allocations beyond the strings that
+// escape into the request itself, and the 202 response is rendered by
+// an append-style encoder into a pooled buffer. Both halves keep
+// encoding/json's observable semantics for this shape — unknown
+// fields skipped, case-insensitive key match, null is a no-op,
+// trailing data after the object ignored (stream-decoder semantics) —
+// and the fuzz test in ingest_test.go drives both decoders
+// differentially.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"unicode/utf16"
+	"unicode/utf8"
+)
+
+// DecodeSubmitRequest parses one JSON-encoded SubmitRequest. It never
+// panics on malformed input and allocates only when a string field
+// contains escapes.
+func DecodeSubmitRequest(data []byte, req *SubmitRequest) error {
+	d := jsonScan{buf: data}
+	d.ws()
+	if d.null() {
+		// encoding/json's stream decoder treats a top-level null as a
+		// no-op assignment.
+		return nil
+	}
+	if !d.eat('{') {
+		return d.fail("expected object")
+	}
+	d.ws()
+	if d.eat('}') {
+		return nil
+	}
+	for {
+		d.ws()
+		key, err := d.key()
+		if err != nil {
+			return err
+		}
+		d.ws()
+		if !d.eat(':') {
+			return d.fail("expected ':' after key %q", key)
+		}
+		d.ws()
+		if err := d.field(req, key); err != nil {
+			return err
+		}
+		d.ws()
+		if d.eat(',') {
+			continue
+		}
+		if d.eat('}') {
+			return nil
+		}
+		return d.fail("expected ',' or '}'")
+	}
+}
+
+// jsonScan is a minimal non-allocating JSON scanner over one buffer.
+type jsonScan struct {
+	buf []byte
+	i   int
+}
+
+func (d *jsonScan) fail(format string, args ...any) error {
+	return fmt.Errorf("json offset %d: %s", d.i, fmt.Sprintf(format, args...))
+}
+
+func (d *jsonScan) ws() {
+	for d.i < len(d.buf) {
+		switch d.buf[d.i] {
+		case ' ', '\t', '\n', '\r':
+			d.i++
+		default:
+			return
+		}
+	}
+}
+
+func (d *jsonScan) eat(c byte) bool {
+	if d.i < len(d.buf) && d.buf[d.i] == c {
+		d.i++
+		return true
+	}
+	return false
+}
+
+// field dispatches one key/value pair into req; unknown keys have
+// their values skipped, like encoding/json.
+func (d *jsonScan) field(req *SubmitRequest, key []byte) error {
+	var sp *string
+	var ip *int
+	switch {
+	case foldEq(key, "tenant"):
+		sp = &req.Tenant
+	case foldEq(key, "id"):
+		sp = &req.ID
+	case foldEq(key, "network"):
+		sp = &req.Network
+	case foldEq(key, "schedule"):
+		sp = &req.Schedule
+	case foldEq(key, "manager"):
+		sp = &req.Manager
+	case foldEq(key, "batch"):
+		ip = &req.Batch
+	case foldEq(key, "priority"):
+		ip = &req.Priority
+	case foldEq(key, "iterations"):
+		ip = &req.Iterations
+	default:
+		return d.skip(0)
+	}
+	if d.null() {
+		return nil
+	}
+	if sp != nil {
+		v, err := d.str()
+		if err != nil {
+			return d.fail("field %q: %v", key, err)
+		}
+		*sp = v
+		return nil
+	}
+	v, err := d.integer()
+	if err != nil {
+		return d.fail("field %q: %v", key, err)
+	}
+	*ip = v
+	return nil
+}
+
+// null consumes a JSON null (a no-op assignment, as in encoding/json).
+func (d *jsonScan) null() bool {
+	if d.i+4 <= len(d.buf) && string(d.buf[d.i:d.i+4]) == "null" {
+		d.i += 4
+		return true
+	}
+	return false
+}
+
+// str parses a JSON string. The fast path (no escapes) returns a
+// string backed by one allocation of the exact content; escapes fall
+// back to a builder.
+func (d *jsonScan) str() (string, error) {
+	if !d.eat('"') {
+		return "", d.fail("expected string")
+	}
+	start := d.i
+	ascii := true
+	for d.i < len(d.buf) {
+		c := d.buf[d.i]
+		if c == '"' {
+			raw := d.buf[start:d.i]
+			d.i++
+			if ascii || utf8.Valid(raw) {
+				return string(raw), nil
+			}
+			return sanitizeUTF8(string(raw)), nil
+		}
+		if c == '\\' {
+			return d.strSlow(start)
+		}
+		if c < 0x20 {
+			return "", d.fail("control character in string")
+		}
+		if c >= utf8.RuneSelf {
+			ascii = false
+		}
+		d.i++
+	}
+	return "", d.fail("unterminated string")
+}
+
+// key parses an object key without copying it out of the buffer (the
+// dominant case; escaped keys take the slow path).
+func (d *jsonScan) key() ([]byte, error) {
+	if !d.eat('"') {
+		return nil, d.fail("expected string")
+	}
+	start := d.i
+	for d.i < len(d.buf) {
+		c := d.buf[d.i]
+		if c == '"' {
+			k := d.buf[start:d.i]
+			d.i++
+			return k, nil
+		}
+		if c == '\\' {
+			s, err := d.strSlow(start)
+			return []byte(s), err
+		}
+		if c < 0x20 {
+			return nil, d.fail("control character in string")
+		}
+		d.i++
+	}
+	return nil, d.fail("unterminated string")
+}
+
+// foldEq matches a key against an ASCII field name the way
+// encoding/json folds: ASCII case-insensitively, with the full-fold
+// fallback covering the Kelvin-sign and long-s orbits.
+func foldEq(key []byte, name string) bool {
+	if len(key) == len(name) {
+		ok := true
+		for i := 0; i < len(key); i++ {
+			c := key[i]
+			if c >= utf8.RuneSelf {
+				ok = false
+				break
+			}
+			if 'A' <= c && c <= 'Z' {
+				c += 'a' - 'A'
+			}
+			if c != name[i] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	for i := 0; i < len(key); i++ {
+		if key[i] >= utf8.RuneSelf {
+			return strings.EqualFold(string(key), name)
+		}
+	}
+	return false
+}
+
+// strSlow finishes a string containing escapes; d.i is at the first
+// backslash, start is just after the opening quote.
+func (d *jsonScan) strSlow(start int) (string, error) {
+	var b strings.Builder
+	b.Write(d.buf[start:d.i])
+	for d.i < len(d.buf) {
+		c := d.buf[d.i]
+		switch {
+		case c == '"':
+			d.i++
+			return finishString(&b), nil
+		case c == '\\':
+			d.i++
+			if d.i >= len(d.buf) {
+				return "", d.fail("unterminated escape")
+			}
+			switch e := d.buf[d.i]; e {
+			case '"', '\\', '/':
+				b.WriteByte(e)
+				d.i++
+			case 'b':
+				b.WriteByte('\b')
+				d.i++
+			case 'f':
+				b.WriteByte('\f')
+				d.i++
+			case 'n':
+				b.WriteByte('\n')
+				d.i++
+			case 'r':
+				b.WriteByte('\r')
+				d.i++
+			case 't':
+				b.WriteByte('\t')
+				d.i++
+			case 'u':
+				d.i++
+				r, err := d.uescape()
+				if err != nil {
+					return "", err
+				}
+				if utf16.IsSurrogate(r) {
+					// A valid pair is consumed whole; anything else
+					// renders U+FFFD and reprocesses the next escape
+					// on its own, as encoding/json does.
+					if r2, n, ok := d.peekU(); ok {
+						if dec := utf16.DecodeRune(r, r2); dec != utf8.RuneError {
+							d.i += n
+							b.WriteRune(dec)
+							continue
+						}
+					}
+					b.WriteRune(utf8.RuneError)
+					continue
+				}
+				b.WriteRune(r)
+			default:
+				return "", d.fail("bad escape '\\%c'", e)
+			}
+		case c < 0x20:
+			return "", d.fail("control character in string")
+		default:
+			b.WriteByte(c)
+			d.i++
+		}
+	}
+	return "", d.fail("unterminated string")
+}
+
+// finish validates a completed slow-path string.
+func finishString(b *strings.Builder) string {
+	s := b.String()
+	if utf8.ValidString(s) {
+		return s
+	}
+	return sanitizeUTF8(s)
+}
+
+// peekU reads a "\u XXXX" escape at the cursor without consuming it,
+// returning the rune and its byte length.
+func (d *jsonScan) peekU() (rune, int, bool) {
+	if d.i+6 > len(d.buf) || d.buf[d.i] != '\\' || d.buf[d.i+1] != 'u' {
+		return 0, 0, false
+	}
+	var r rune
+	for k := 0; k < 4; k++ {
+		c := d.buf[d.i+2+k]
+		switch {
+		case c >= '0' && c <= '9':
+			r = r<<4 | rune(c-'0')
+		case c >= 'a' && c <= 'f':
+			r = r<<4 | rune(c-'a'+10)
+		case c >= 'A' && c <= 'F':
+			r = r<<4 | rune(c-'A'+10)
+		default:
+			return 0, 0, false
+		}
+	}
+	return r, 6, true
+}
+
+// sanitizeUTF8 replaces invalid bytes with U+FFFD, byte for byte, the
+// way encoding/json repairs string values.
+func sanitizeUTF8(s string) string {
+	var b strings.Builder
+	b.Grow(len(s) + 8)
+	for i := 0; i < len(s); {
+		r, n := utf8.DecodeRuneInString(s[i:])
+		b.WriteRune(r)
+		i += n
+	}
+	return b.String()
+}
+
+// uescape parses the 4 hex digits after "\u"; d.i is just past 'u'.
+func (d *jsonScan) uescape() (rune, error) {
+	if d.i+4 > len(d.buf) {
+		return 0, d.fail("truncated \\u escape")
+	}
+	var r rune
+	for k := 0; k < 4; k++ {
+		c := d.buf[d.i+k]
+		switch {
+		case c >= '0' && c <= '9':
+			r = r<<4 | rune(c-'0')
+		case c >= 'a' && c <= 'f':
+			r = r<<4 | rune(c-'a'+10)
+		case c >= 'A' && c <= 'F':
+			r = r<<4 | rune(c-'A'+10)
+		default:
+			return 0, d.fail("bad \\u escape")
+		}
+	}
+	d.i += 4
+	return r, nil
+}
+
+// integer parses a JSON number that must be an integer (the only
+// numeric shape in SubmitRequest), matching encoding/json's refusal of
+// fractions and exponents for int fields.
+func (d *jsonScan) integer() (int, error) {
+	neg := d.eat('-')
+	var v int64
+	digits := 0
+	for d.i < len(d.buf) {
+		c := d.buf[d.i]
+		if c >= '0' && c <= '9' {
+			if v > ((1<<63-1)-9)/10 {
+				return 0, d.fail("integer overflow")
+			}
+			v = v*10 + int64(c-'0')
+			digits++
+			d.i++
+			continue
+		}
+		if c == '.' || c == 'e' || c == 'E' || c == '+' {
+			return 0, d.fail("number is not an integer")
+		}
+		break
+	}
+	if digits == 0 {
+		return 0, d.fail("expected number")
+	}
+	if neg {
+		v = -v
+	}
+	return int(v), nil
+}
+
+// skip consumes one JSON value of any shape (for unknown keys).
+func (d *jsonScan) skip(depth int) error {
+	if depth > 64 {
+		return d.fail("value nested too deeply")
+	}
+	d.ws()
+	if d.i >= len(d.buf) {
+		return d.fail("truncated value")
+	}
+	switch c := d.buf[d.i]; {
+	case c == '"':
+		_, err := d.str()
+		return err
+	case c == '{' || c == '[':
+		open, close := c, byte('}')
+		if open == '[' {
+			close = ']'
+		}
+		d.i++
+		d.ws()
+		if d.eat(close) {
+			return nil
+		}
+		for {
+			if open == '{' {
+				d.ws()
+				if _, err := d.str(); err != nil {
+					return err
+				}
+				d.ws()
+				if !d.eat(':') {
+					return d.fail("expected ':'")
+				}
+			}
+			if err := d.skip(depth + 1); err != nil {
+				return err
+			}
+			d.ws()
+			if d.eat(',') {
+				continue
+			}
+			if d.eat(close) {
+				return nil
+			}
+			return d.fail("expected ',' or '%c'", close)
+		}
+	case c == 't':
+		return d.lit("true")
+	case c == 'f':
+		return d.lit("false")
+	case c == 'n':
+		return d.lit("null")
+	default:
+		_, err := d.number()
+		return err
+	}
+}
+
+func (d *jsonScan) lit(s string) error {
+	if d.i+len(s) <= len(d.buf) && string(d.buf[d.i:d.i+len(s)]) == s {
+		d.i += len(s)
+		return nil
+	}
+	return d.fail("bad literal")
+}
+
+// number consumes any JSON number (skipped values may be floats).
+func (d *jsonScan) number() (int, error) {
+	start := d.i
+	for d.i < len(d.buf) {
+		switch c := d.buf[d.i]; {
+		case c >= '0' && c <= '9', c == '-', c == '+', c == '.', c == 'e', c == 'E':
+			d.i++
+		default:
+			if d.i == start {
+				return 0, d.fail("expected value")
+			}
+			return 0, nil
+		}
+	}
+	if d.i == start {
+		return 0, d.fail("expected value")
+	}
+	return 0, nil
+}
+
+// appendJobStatusJSON renders the submit-response JobStatus (queued:
+// no Result) exactly as the indented encoding/json encoder would,
+// into dst.
+func appendJobStatusJSON(dst []byte, st *JobStatus) []byte {
+	dst = append(dst, "{\n  \"id\": "...)
+	dst = appendJSONString(dst, st.ID)
+	dst = append(dst, ",\n  \"tenant\": "...)
+	dst = appendJSONString(dst, st.Tenant)
+	dst = append(dst, ",\n  \"state\": "...)
+	dst = appendJSONString(dst, string(st.State))
+	dst = append(dst, ",\n  \"shard\": "...)
+	dst = strconv.AppendInt(dst, int64(st.Shard), 10)
+	if st.QueuePosition != 0 {
+		dst = append(dst, ",\n  \"queue_position\": "...)
+		dst = strconv.AppendInt(dst, int64(st.QueuePosition), 10)
+	}
+	dst = append(dst, ",\n  \"seq\": "...)
+	dst = strconv.AppendInt(dst, int64(st.Seq), 10)
+	dst = append(dst, ",\n  \"arrival_ms\": "...)
+	dst = strconv.AppendInt(dst, st.ArrivalMS, 10)
+	if st.Reason != "" {
+		dst = append(dst, ",\n  \"reason\": "...)
+		dst = appendJSONString(dst, st.Reason)
+	}
+	dst = append(dst, "\n}\n"...)
+	return dst
+}
+
+const hexDigits = "0123456789abcdef"
+
+// appendJSONString escapes s the way encoding/json does, including the
+// HTML-safe escapes for <, > and &.
+func appendJSONString(dst []byte, s string) []byte {
+	dst = append(dst, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		c := s[i]
+		if c >= 0x20 && c != '"' && c != '\\' && c != '<' && c != '>' && c != '&' && c < utf8.RuneSelf {
+			i++
+			continue
+		}
+		if c >= utf8.RuneSelf {
+			r, size := utf8.DecodeRuneInString(s[i:])
+			if r == utf8.RuneError && size == 1 {
+				dst = append(dst, s[start:i]...)
+				dst = append(dst, `\ufffd`...)
+				i += size
+				start = i
+				continue
+			}
+			if r == '\u2028' || r == '\u2029' {
+				dst = append(dst, s[start:i]...)
+				dst = append(dst, `\u202`...)
+				dst = append(dst, hexDigits[r&0xF])
+				i += size
+				start = i
+				continue
+			}
+			i += size
+			continue
+		}
+		dst = append(dst, s[start:i]...)
+		switch c {
+		case '"':
+			dst = append(dst, `\"`...)
+		case '\\':
+			dst = append(dst, `\\`...)
+		case '\n':
+			dst = append(dst, `\n`...)
+		case '\r':
+			dst = append(dst, `\r`...)
+		case '\t':
+			dst = append(dst, `\t`...)
+		default:
+			dst = append(dst, `\u00`...)
+			dst = append(dst, hexDigits[c>>4], hexDigits[c&0xF])
+		}
+		i++
+		start = i
+	}
+	dst = append(dst, s[start:]...)
+	return append(dst, '"')
+}
+
+// ingestBuf is the pooled per-request scratch of the HTTP submit
+// handler: the body read buffer and the response render buffer.
+type ingestBuf struct {
+	body []byte
+	out  []byte
+}
+
+var ingestBufs = sync.Pool{
+	New: func() any { return &ingestBuf{body: make([]byte, 0, 1024), out: make([]byte, 0, 512)} },
+}

@@ -37,6 +37,7 @@ type LoadConfig struct {
 type LoadReport struct {
 	Submitted   int // successful submissions
 	QueueFull   int // queue-full responses absorbed by retries
+	Shed        int // overload (SLO shed) responses absorbed by retries
 	QuotaDenied int // submissions refused by tenant quota
 	Failed      int // submissions lost after retries or on other errors
 
@@ -45,8 +46,21 @@ type LoadReport struct {
 
 	P50, P90, P99, Max time.Duration // submission latency
 
+	// Shards breaks the successful submissions down by the shard that
+	// sequenced them (from the submit response), ordered by shard index.
+	// Single-shard services report one row.
+	Shards []ShardLoad
+
 	// Drained holds the drain summary when LoadConfig.Drain is set.
 	Drained *DrainSummary
+}
+
+// ShardLoad aggregates the successful submissions that landed on one
+// shard: the count and that shard's submission latency percentiles.
+type ShardLoad struct {
+	Shard     int
+	Submitted int
+	P50, P99  time.Duration
 }
 
 // DefaultTemplates returns the bundled static and dynamic traces as a
@@ -85,6 +99,7 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 	var (
 		mu        sync.Mutex
 		latencies []time.Duration
+		byShard   = map[int][]time.Duration{}
 		rep       LoadReport
 	)
 	start := time.Now()
@@ -109,18 +124,20 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 					req.Schedule = tpl.BatchSchedule.String()
 					req.Batch = 0
 				}
-				lat, kind, full := submitWithRetry(cfg, req)
+				lat, kind, full, shed, shard := submitWithRetry(cfg, req)
 				mu.Lock()
 				switch kind {
 				case submitOK:
 					rep.Submitted++
 					latencies = append(latencies, lat)
+					byShard[shard] = append(byShard[shard], lat)
 				case submitQuota:
 					rep.QuotaDenied++
 				case submitFailed:
 					rep.Failed++
 				}
 				rep.QueueFull += full
+				rep.Shed += shed
 				mu.Unlock()
 			}
 		}(ci)
@@ -136,6 +153,21 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 	rep.P99 = percentile(latencies, 0.99)
 	if n := len(latencies); n > 0 {
 		rep.Max = latencies[n-1]
+	}
+	shardIdx := make([]int, 0, len(byShard))
+	for sh := range byShard {
+		shardIdx = append(shardIdx, sh)
+	}
+	sort.Ints(shardIdx)
+	for _, sh := range shardIdx {
+		lats := byShard[sh]
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		rep.Shards = append(rep.Shards, ShardLoad{
+			Shard:     sh,
+			Submitted: len(lats),
+			P50:       percentile(lats, 0.50),
+			P99:       percentile(lats, 0.99),
+		})
 	}
 	if cfg.Drain {
 		d, err := cfg.Target.Drain()
@@ -154,27 +186,52 @@ const (
 	submitFailed
 )
 
-// submitWithRetry submits one job, absorbing queue-full backpressure.
-// It returns the last attempt's latency, the outcome, and how many
-// queue-full responses were absorbed.
-func submitWithRetry(cfg LoadConfig, req SubmitRequest) (time.Duration, int, int) {
-	full := 0
+// submitWithRetry submits one job, absorbing queue-full and overload
+// backpressure. It returns the last attempt's latency, the outcome,
+// how many queue-full and shed responses were absorbed, and the shard
+// that sequenced a successful submission.
+func submitWithRetry(cfg LoadConfig, req SubmitRequest) (time.Duration, int, int, int, int) {
+	full, shed := 0, 0
 	for attempt := 0; ; attempt++ {
 		t0 := time.Now()
-		_, err := cfg.Target.Submit(req)
+		st, err := cfg.Target.Submit(req)
 		lat := time.Since(t0)
 		switch {
 		case err == nil:
-			return lat, submitOK, full
+			return lat, submitOK, full, shed, st.Shard
 		case errors.Is(err, ErrQuota):
-			return lat, submitQuota, full
+			return lat, submitQuota, full, shed, 0
 		case errors.Is(err, ErrQueueFull) && attempt < cfg.SubmitRetries:
 			full++
-			time.Sleep(cfg.RetryDelay)
+			time.Sleep(retryDelay(cfg, err))
+		case errors.Is(err, ErrOverloaded) && attempt < cfg.SubmitRetries:
+			shed++
+			time.Sleep(retryDelay(cfg, err))
 		default:
-			return lat, submitFailed, full
+			return lat, submitFailed, full, shed, 0
 		}
 	}
+}
+
+// retryDelay honors a server Retry-After hint when present, capped so
+// a pessimistic hint cannot stall the generator, and falls back to the
+// configured delay.
+func retryDelay(cfg LoadConfig, err error) time.Duration {
+	var re *RetryableError
+	if errors.As(err, &re) && re.RetryAfter > 0 {
+		if max := 50 * cfg.RetryDelay; re.RetryAfter > max {
+			return max
+		}
+		return re.RetryAfter
+	}
+	var ae *APIError
+	if errors.As(err, &ae) && ae.RetryAfter > 0 {
+		if max := 50 * cfg.RetryDelay; ae.RetryAfter > max {
+			return max
+		}
+		return ae.RetryAfter
+	}
+	return cfg.RetryDelay
 }
 
 func percentile(sorted []time.Duration, p float64) time.Duration {

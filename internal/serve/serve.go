@@ -8,22 +8,32 @@
 // deterministic core:
 //
 //   - Concurrency at the edge. Submit may be called from any number of
-//     goroutines (the HTTP handlers do). Each accepted request lands in
-//     a bounded per-tenant admission queue; a single sequencer drains
-//     the queues round-robin across tenants, so no tenant can starve
-//     the others by flooding the queue (fairness), and no tenant can
-//     exceed its lifetime quota (admission control above the
-//     scheduler's own memory-based admission).
-//   - Determinism at the core. The sequencer collapses all wall-clock
-//     nondeterminism into one total order: the i-th sequenced job gets
-//     the deterministic virtual arrival i·spacing ms and is appended to
-//     the request log, which is exactly a workload trace
-//     (workload.FormatTrace bytes). Everything the service reports —
-//     job status, cluster metrics, the drain summary — is a pure
-//     function of that log, computed by replaying it through the same
-//     sched.Scheduler that cmd/snsched uses. Re-running a day of
-//     logged traffic therefore reproduces every per-job result
-//     byte-identically.
+//     goroutines (the HTTP handlers do). Tenants are partitioned onto
+//     shards; each shard owns a bounded set of per-tenant admission
+//     queues and its own sequencer, so shards admit traffic in
+//     parallel without sharing a lock. Within a shard no tenant can
+//     starve the others (round-robin fairness) and no tenant can
+//     exceed its lifetime quota.
+//   - Determinism at the core. Each shard's sequencer emits
+//     (shard, local-seq) records stamped with globally claimed slot
+//     numbers; the merger flushes records into the request log in
+//     ascending slot order — a pure function of the sequence numbers,
+//     never wall clock. The i-th merged job gets the deterministic
+//     virtual arrival i·spacing ms, so the merged log is exactly a
+//     workload trace (workload.FormatTrace bytes). Everything the
+//     service reports — job status, cluster metrics, the drain
+//     summary — is a pure function of that log, computed by replaying
+//     it through the same sched machinery cmd/snsched uses.
+//     Re-running a day of logged traffic therefore reproduces every
+//     per-job result byte-identically, whatever the shard count was.
+//
+// Replay cost does not grow with history: with SnapshotEvery set, the
+// merger feeds a resumable sched.Incremental whose watermark advances
+// as the log grows, so a status or metrics query only replays the
+// active suffix (and a finalized job's status is O(1)). The paused
+// replay also serializes (Checkpoint), giving crash-recoverable log
+// compaction: restore the checkpoint, append the log suffix, and the
+// result equals a full replay byte for byte.
 //
 // Because the cluster runs in virtual time, a "status" query returns
 // the projected schedule of the job given the traffic admitted so far;
@@ -32,12 +42,16 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
+	"log/slog"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -46,13 +60,14 @@ import (
 	"repro/internal/workload"
 )
 
-// DefaultQueueDepth bounds the admission queue when Config leaves it 0.
+// DefaultQueueDepth bounds each shard's admission queue when Config
+// leaves it 0.
 const DefaultQueueDepth = 256
 
 // Sentinel errors of the submission path; the HTTP layer maps each to
 // a status code.
 var (
-	// ErrQueueFull: the bounded admission queue is at capacity.
+	// ErrQueueFull: the shard's bounded admission queue is at capacity.
 	ErrQueueFull = errors.New("serve: admission queue full")
 	// ErrQuota: the tenant used up its lifetime job quota.
 	ErrQuota = errors.New("serve: tenant quota exhausted")
@@ -65,7 +80,21 @@ var (
 	ErrBadRequest = errors.New("serve: invalid request")
 	// ErrUnknownJob: no job with that id.
 	ErrUnknownJob = errors.New("serve: unknown job")
+	// ErrOverloaded: the admission governor is shedding load because
+	// measured submit latency exceeds the configured SLO.
+	ErrOverloaded = errors.New("serve: service overloaded")
 )
+
+// RetryableError wraps a backpressure sentinel (ErrQueueFull,
+// ErrOverloaded) with a retry hint; the HTTP layer surfaces it as a
+// Retry-After header. errors.Is still matches the wrapped sentinel.
+type RetryableError struct {
+	Err        error
+	RetryAfter time.Duration
+}
+
+func (e *RetryableError) Error() string { return e.Err.Error() }
+func (e *RetryableError) Unwrap() error { return e.Err }
 
 // Config parameterizes a Service.
 type Config struct {
@@ -73,23 +102,44 @@ type Config struct {
 	Cluster sched.Cluster
 	// Policy is the scheduler policy (default sched.Packing).
 	Policy sched.Policy
-	// QueueDepth bounds the admission queue: the total number of
-	// accepted-but-not-yet-sequenced jobs across all tenants. Submit
-	// fails with ErrQueueFull beyond it. 0 means DefaultQueueDepth.
+	// Shards partitions tenants across independent sequencers
+	// (default 1). All of a tenant's jobs land on one shard, so
+	// per-tenant fairness and FIFO submission order are preserved;
+	// the shard count never changes the log format or the replay.
+	Shards int
+	// QueueDepth bounds each shard's admission queue: the number of
+	// accepted-but-not-yet-sequenced jobs a shard holds. Submit fails
+	// with ErrQueueFull beyond it. 0 means DefaultQueueDepth.
 	QueueDepth int
 	// TenantQuota caps the number of jobs one tenant may submit over
 	// the service lifetime; 0 means unlimited.
 	TenantQuota int
 	// SpacingMS is the virtual arrival gap between consecutively
-	// sequenced jobs (default 1 ms): the i-th job in the request log
+	// merged jobs (default 1 ms): the i-th job in the request log
 	// arrives at i·SpacingMS.
 	SpacingMS int64
+	// SnapshotEvery enables log compaction: every SnapshotEvery merged
+	// jobs the service advances its resumable replay's watermark, so
+	// queries replay only the suffix since the last advance instead of
+	// the whole history, and finalized job statuses are O(1). 0
+	// disables compaction (every query replays the full log — the
+	// original behavior, linear in history).
+	SnapshotEvery int
+	// SLOTargetP99, when positive, arms the admission governor: the
+	// service tracks its own submit latency, and when the windowed p99
+	// exceeds the target it sheds load (ErrOverloaded) until the p99
+	// recovers below 80% of the target.
+	SLOTargetP99 time.Duration
 	// RequestLog, when non-nil, receives the deterministic request log
 	// incrementally: the workload trace header at construction, then
-	// one trace line per sequenced job. The accumulated bytes are at
+	// one trace line per merged job. The accumulated bytes are at
 	// every instant a valid workload trace equal to ReplayLog().
 	RequestLog io.Writer
-	// Manual disables the background sequencer goroutine; callers
+	// Logger receives structured service events (admissions, sequencing,
+	// watermark advances, shedding); nil discards them. Per-job events
+	// log at Debug, lifecycle transitions at Info/Warn.
+	Logger *slog.Logger
+	// Manual disables the background sequencer goroutines; callers
 	// step admission explicitly with Advance (tests do, to observe
 	// fairness deterministically).
 	Manual bool
@@ -99,8 +149,8 @@ type Config struct {
 type JobState string
 
 const (
-	// StateQueued: accepted into the admission queue, not yet
-	// sequenced into the request log.
+	// StateQueued: accepted into a shard's admission queue, not yet
+	// merged into the request log.
 	StateQueued JobState = "queued"
 	// StateScheduled: sequenced and placed by the scheduler; Result
 	// holds the projected schedule.
@@ -139,6 +189,8 @@ type JobStatus struct {
 	ID     string   `json:"id"`
 	Tenant string   `json:"tenant"`
 	State  JobState `json:"state"`
+	// Shard is the sequencer shard the tenant maps to.
+	Shard int `json:"shard"`
 	// QueuePosition is the 1-based position in the tenant's admission
 	// queue while queued.
 	QueuePosition int `json:"queue_position,omitempty"`
@@ -162,6 +214,13 @@ type TenantStat struct {
 	Sequenced int `json:"sequenced"`
 }
 
+// ShardStat aggregates one sequencer shard in Metrics.
+type ShardStat struct {
+	Tenants   int `json:"tenants"`
+	Queued    int `json:"queued"`
+	Sequenced int `json:"sequenced"`
+}
+
 // Metrics is a point-in-time cluster snapshot, computed by replaying
 // the current request log.
 type Metrics struct {
@@ -175,10 +234,17 @@ type Metrics struct {
 	JobsSequenced int  `json:"jobs_sequenced"`
 	JobsRejected  int  `json:"jobs_rejected"`
 	Draining      bool `json:"draining"`
+	// Shedding reports whether the admission governor is currently
+	// rejecting load to protect the SLO.
+	Shedding bool `json:"shedding,omitempty"`
+	// SnapshotSeq is the log position of the replay watermark: queries
+	// replay only jobs at or after it. 0 with compaction disabled.
+	SnapshotSeq int `json:"snapshot_seq,omitempty"`
 	// EstimatedShapes counts memoized dry-run shapes in the admission
 	// estimator.
 	EstimatedShapes int                   `json:"estimated_shapes"`
 	Tenants         map[string]TenantStat `json:"tenants"`
+	Shards          []ShardStat           `json:"shards,omitempty"`
 
 	Makespan           sim.Duration       `json:"makespan_ns"`
 	MeanJCT            sim.Duration       `json:"mean_jct_ns"`
@@ -192,46 +258,80 @@ type Metrics struct {
 type job struct {
 	tj     workload.TraceJob
 	tenant string
+	shard  int
 	sub    int // global submission order
-	seq    int // request-log position; -1 while queued
+	seq    int // request-log position; -1 while queued (guarded by Service.mu)
+	local  int // per-shard sequence number, assigned when popped
 }
 
 // Service is a concurrent job-submission front-end over one
 // deterministic cluster scheduler. All methods are safe for concurrent
 // use.
+//
+// Lock order: shard.mu before Service.mu, never the reverse. A shard
+// claims slots and hands records to the merger while holding its own
+// lock, so a drained shard queue means every one of its claimed slots
+// has reached the merger.
 type Service struct {
-	cfg Config
-	sch *sched.Scheduler
+	cfg    Config
+	sch    *sched.Scheduler
+	shards []*shard
+	gov    *governor
+	lg     *slog.Logger
+	lgDbg  bool // Debug level enabled (checked once; gates hot-path logging)
+
+	// slots hands out dense global sequence slots; the merger flushes
+	// them in ascending order.
+	slots atomic.Int64
 
 	mu      sync.Mutex
 	cond    *sync.Cond
 	byID    map[string]*job
-	queues  map[string][]*job // per-tenant admission queues
-	ring    []string          // tenants in first-seen order
-	rr      int               // round-robin cursor into ring
-	pending int               // total queued across tenants
-	count   map[string]int    // lifetime accepted per tenant
-	subs    int               // global submission counter
+	count   map[string]int // lifetime accepted per tenant
+	queued  map[string]int // currently queued per tenant
+	tenants []string       // tenants in first-seen order
+	pending int            // total queued across shards
+	subs    int            // global submission counter
+	reorder recordHeap     // merged-but-not-yet-dense records
 	log     []workload.TraceJob
+	byShard []shardTally
 	logErr  error
+
+	// inc is the resumable replay (SnapshotEvery > 0); lastAdv is the
+	// log length at its last watermark advance.
+	inc     *sched.Incremental
+	lastAdv int
+	incErr  error
 
 	draining bool
 	stopped  bool
 	drainCh  chan struct{}
 
-	// snapshot cache: the replay of log[:snapN].
-	snapN   int
-	snapOK  bool
-	snap    *sched.Result
-	snapErr error
+	// result memo: the replay of log[:resN].
+	resN   int
+	resOK  bool
+	res    *sched.Result
+	resErr error
 }
 
-// New constructs a Service and, unless cfg.Manual is set, starts its
-// sequencer goroutine. The request-log header is written immediately
-// so the log sink is a valid (empty) workload trace from the start.
+// shardTally is the merger-side per-shard bookkeeping (guarded by
+// Service.mu): the shard's slice of the merged log, for the sectioned
+// export.
+type shardTally struct {
+	sequenced int
+	log       []workload.TraceJob
+}
+
+// New constructs a Service and, unless cfg.Manual is set, starts one
+// sequencer goroutine per shard. The request-log header is written
+// immediately so the log sink is a valid (empty) workload trace from
+// the start.
 func New(cfg Config) (*Service, error) {
 	if cfg.Policy.Name == "" {
 		cfg.Policy = sched.Packing
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
 	}
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = DefaultQueueDepth
@@ -247,42 +347,100 @@ func New(cfg Config) (*Service, error) {
 		cfg:     cfg,
 		sch:     sch,
 		byID:    make(map[string]*job),
-		queues:  make(map[string][]*job),
 		count:   make(map[string]int),
+		queued:  make(map[string]int),
+		byShard: make([]shardTally, cfg.Shards),
 		drainCh: make(chan struct{}),
 	}
 	s.cond = sync.NewCond(&s.mu)
+	if cfg.Logger != nil {
+		s.lg = cfg.Logger
+	} else {
+		s.lg = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	s.lgDbg = s.lg.Enabled(context.Background(), slog.LevelDebug)
+	if cfg.SnapshotEvery > 0 {
+		inc, err := sched.NewIncremental(cfg.Cluster, cfg.Policy, sch.Estimator())
+		if err != nil {
+			return nil, err
+		}
+		s.inc = inc
+	}
+	if cfg.SLOTargetP99 > 0 {
+		s.gov = newGovernor(cfg.SLOTargetP99, s.lg)
+	}
+	s.shards = make([]*shard, cfg.Shards)
+	for i := range s.shards {
+		s.shards[i] = newShard(i)
+	}
 	s.logWrite(workload.TraceHeader)
 	if !cfg.Manual {
-		go s.sequencer()
+		for _, sh := range s.shards {
+			go s.shardLoop(sh)
+		}
 	}
+	s.lg.Info("service up", "shards", cfg.Shards, "queue_depth", cfg.QueueDepth,
+		"snapshot_every", cfg.SnapshotEvery, "policy", cfg.Policy.Name)
 	return s, nil
 }
 
+// shardOf maps a tenant to its shard: a stable hash, so a tenant's
+// jobs always share one queue and keep their FIFO submission order.
+func (s *Service) shardOf(tenant string) *shard {
+	if len(s.shards) == 1 {
+		return s.shards[0]
+	}
+	h := fnv.New32a()
+	_, _ = io.WriteString(h, tenant)
+	return s.shards[int(h.Sum32())%len(s.shards)]
+}
+
 // logWrite appends to the request-log sink, recording the first error.
+// Callers hold s.mu (except New).
 func (s *Service) logWrite(line string) {
 	if s.cfg.RequestLog == nil || s.logErr != nil {
 		return
 	}
 	if _, err := io.WriteString(s.cfg.RequestLog, line); err != nil {
 		s.logErr = fmt.Errorf("serve: request log: %w", err)
+		s.lg.Error("request log write failed", "err", err)
 	}
 }
 
-// Submit validates and enqueues one job. The dry-run validation runs
-// outside the service lock (the estimator memoizes concurrently), so
-// submissions of known shapes are cheap and parallel. The returned
-// status is StateQueued; rejection by the cluster's memory admission
-// happens deterministically after sequencing and shows up in Status.
+// Submit validates and enqueues one job on its tenant's shard. The
+// dry-run validation runs outside every lock (the estimator memoizes
+// concurrently), so submissions of known shapes are cheap and
+// parallel. The returned status is StateQueued; rejection by the
+// cluster's memory admission happens deterministically after
+// sequencing and shows up in Status.
 func (s *Service) Submit(req SubmitRequest) (*JobStatus, error) {
+	var t0 time.Time
+	if s.gov != nil {
+		t0 = time.Now()
+		if s.gov.shedding() {
+			err := &RetryableError{Err: ErrOverloaded, RetryAfter: time.Second}
+			s.gov.observe(time.Since(t0))
+			return nil, err
+		}
+	}
+	st, err := s.submit(req)
+	if s.gov != nil {
+		s.gov.observe(time.Since(t0))
+	}
+	return st, err
+}
+
+func (s *Service) submit(req SubmitRequest) (*JobStatus, error) {
 	tj, tenant, err := s.validate(req)
 	if err != nil {
 		return nil, err
 	}
-
+	sh := s.shardOf(tenant)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.draining {
+		s.mu.Unlock()
 		return nil, ErrDraining
 	}
 	if tj.ID == "" {
@@ -297,26 +455,43 @@ func (s *Service) Submit(req SubmitRequest) (*JobStatus, error) {
 		}
 	}
 	if _, dup := s.byID[tj.ID]; dup {
+		s.mu.Unlock()
 		return nil, fmt.Errorf("%w: %s", ErrDuplicateID, tj.ID)
 	}
 	if q := s.cfg.TenantQuota; q > 0 && s.count[tenant] >= q {
+		s.mu.Unlock()
 		return nil, fmt.Errorf("%w: tenant %s at %d jobs", ErrQuota, tenant, q)
 	}
-	if s.pending >= s.cfg.QueueDepth {
-		return nil, fmt.Errorf("%w: %d pending", ErrQueueFull, s.pending)
+	if sh.pending >= s.cfg.QueueDepth {
+		s.mu.Unlock()
+		// The shard depth watermark: the retry hint scales with how
+		// loaded the shard is, so clients back off harder the deeper
+		// the backlog.
+		hint := time.Second * time.Duration(1+2*sh.pending/s.cfg.QueueDepth)
+		return nil, &RetryableError{
+			Err:        fmt.Errorf("%w: shard %d at %d pending", ErrQueueFull, sh.idx, sh.pending),
+			RetryAfter: hint,
+		}
 	}
-
-	j := &job{tj: tj, tenant: tenant, sub: s.subs, seq: -1}
+	j := &job{tj: tj, tenant: tenant, shard: sh.idx, sub: s.subs, seq: -1}
 	s.subs++
-	s.count[tenant]++
-	if _, known := s.queues[tenant]; !known {
-		s.ring = append(s.ring, tenant)
+	if s.count[tenant] == 0 {
+		s.tenants = append(s.tenants, tenant)
 	}
-	s.queues[tenant] = append(s.queues[tenant], j)
+	s.count[tenant]++
+	s.queued[tenant]++
 	s.pending++
 	s.byID[tj.ID] = j
-	s.cond.Broadcast()
-	return s.statusLocked(j), nil
+	s.mu.Unlock()
+
+	pos := sh.enqueue(tenant, j)
+	if s.lgDbg {
+		s.lg.Debug("job accepted", "tenant", tenant, "shard", sh.idx, "id", tj.ID, "queue_pos", pos)
+	}
+	return &JobStatus{
+		ID: tj.ID, Tenant: tenant, State: StateQueued, Shard: sh.idx,
+		QueuePosition: pos, Seq: -1,
+	}, nil
 }
 
 // validate checks the request shape and dry-runs every distinct batch
@@ -389,117 +564,80 @@ func checkToken(field, v string) error {
 	return nil
 }
 
-// sequencer is the background admission loop: whenever jobs are
-// pending it drains them round-robin across tenants into the log.
-func (s *Service) sequencer() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for {
-		for s.pending == 0 && !s.stopped {
-			s.cond.Wait()
-		}
-		if s.stopped {
-			return
-		}
-		s.advanceLocked(0)
-	}
-}
-
 // Advance sequences up to max pending jobs (all of them when max <= 0)
-// and returns how many were sequenced. Only useful with Config.Manual;
-// the background sequencer calls the same code.
+// across the shards in index order and returns how many were
+// sequenced. Only useful with Config.Manual; the background sequencers
+// run the same code.
 func (s *Service) Advance(max int) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.advanceLocked(max)
-}
-
-// advanceLocked pops jobs round-robin across the tenant ring: one job
-// per tenant per turn, skipping empty queues. Each popped job gets the
-// next sequence number, its deterministic arrival, and its request-log
-// line.
-func (s *Service) advanceLocked(max int) int {
 	n := 0
-	for s.pending > 0 && (max <= 0 || n < max) {
-		for len(s.queues[s.ring[s.rr]]) == 0 {
-			s.rr = (s.rr + 1) % len(s.ring)
+	for _, sh := range s.shards {
+		if max > 0 && n >= max {
+			break
 		}
-		t := s.ring[s.rr]
-		s.rr = (s.rr + 1) % len(s.ring)
-		j := s.queues[t][0]
-		s.queues[t] = s.queues[t][1:]
-		s.pending--
-		j.seq = len(s.log)
-		j.tj.ArrivalMS = int64(j.seq) * s.cfg.SpacingMS
-		s.log = append(s.log, j.tj)
-		s.logWrite(workload.FormatJob(j.tj))
-		n++
-	}
-	if n > 0 {
-		s.cond.Broadcast()
+		m := 0
+		if max > 0 {
+			m = max - n
+		}
+		sh.mu.Lock()
+		n += s.sequenceLocked(sh, m)
+		sh.mu.Unlock()
 	}
 	return n
 }
 
-// snapshotLocked replays the current request log through the
-// scheduler, memoized by log length. This is the only way any result
-// is produced: the service's answers and a later offline replay of the
-// log are the same computation.
-func (s *Service) snapshotLocked() (*sched.Result, error) {
-	if s.snapOK && s.snapN == len(s.log) {
-		return s.snap, s.snapErr
-	}
-	jobs := sched.JobsFromTrace(s.log)
-	r, err := s.sch.Run(jobs)
-	s.snapN, s.snap, s.snapErr, s.snapOK = len(s.log), r, err, true
-	return r, err
-}
-
-// statusLocked renders one job's status against the current snapshot.
-func (s *Service) statusLocked(j *job) *JobStatus {
-	st := &JobStatus{ID: j.tj.ID, Tenant: j.tenant, Seq: j.seq, ArrivalMS: j.tj.ArrivalMS}
-	if j.seq < 0 {
-		st.State = StateQueued
-		for i, q := range s.queues[j.tenant] {
-			if q == j {
-				st.QueuePosition = i + 1
-				break
-			}
+// shardLoop is one shard's background sequencer.
+func (s *Service) shardLoop(sh *shard) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for {
+		for sh.pending == 0 && !sh.stopped {
+			sh.cond.Wait()
 		}
-		return st
+		if sh.stopped {
+			return
+		}
+		s.sequenceLocked(sh, 0)
 	}
-	snap, err := s.snapshotLocked()
-	if err != nil {
-		st.Reason = err.Error()
-		st.State = StateRejected
-		return st
-	}
-	jr := snap.Jobs[j.seq]
-	st.Result = &jr
-	if jr.Rejected {
-		st.State = StateRejected
-		st.Reason = jr.Reason
-	} else {
-		st.State = StateScheduled
-	}
-	return st
 }
 
 // Status returns one job's current status.
 func (s *Service) Status(id string) (*JobStatus, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	j, ok := s.byID[id]
 	if !ok {
+		s.mu.Unlock()
 		return nil, fmt.Errorf("%w: %s", ErrUnknownJob, id)
 	}
-	return s.statusLocked(j), nil
+	if j.seq >= 0 {
+		defer s.mu.Unlock()
+		return s.sequencedStatusLocked(j), nil
+	}
+	s.mu.Unlock()
+
+	// Still queued: the position lives behind the shard's lock, which
+	// must be taken before (never while holding) s.mu.
+	sh := s.shards[j.shard]
+	sh.mu.Lock()
+	pos := sh.position(j)
+	sh.mu.Unlock()
+	if pos > 0 {
+		return &JobStatus{
+			ID: j.tj.ID, Tenant: j.tenant, State: StateQueued, Shard: j.shard,
+			QueuePosition: pos, Seq: -1,
+		}, nil
+	}
+	// Sequenced between the two looks (or in the merge buffer).
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j.seq >= 0 {
+		return s.sequencedStatusLocked(j), nil
+	}
+	return &JobStatus{ID: j.tj.ID, Tenant: j.tenant, State: StateQueued, Shard: j.shard, Seq: -1}, nil
 }
 
 // Jobs returns every submitted job's status in submission order.
 func (s *Service) Jobs() ([]*JobStatus, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	all := make([]*job, 0, len(s.byID))
 	for _, j := range s.byID {
 		all = append(all, j)
@@ -507,8 +645,23 @@ func (s *Service) Jobs() ([]*JobStatus, error) {
 	// Submission order is the deterministic listing order.
 	sort.Slice(all, func(i, k int) bool { return all[i].sub < all[k].sub })
 	out := make([]*JobStatus, len(all))
+	var queuedIdx []int
 	for i, j := range all {
-		out[i] = s.statusLocked(j)
+		if j.seq >= 0 {
+			out[i] = s.sequencedStatusLocked(j)
+		} else {
+			out[i] = &JobStatus{ID: j.tj.ID, Tenant: j.tenant, State: StateQueued, Shard: j.shard, Seq: -1}
+			queuedIdx = append(queuedIdx, i)
+		}
+	}
+	s.mu.Unlock()
+	// Fill queue positions shard by shard, outside s.mu (lock order).
+	for _, i := range queuedIdx {
+		j := all[i]
+		sh := s.shards[j.shard]
+		sh.mu.Lock()
+		out[i].QueuePosition = sh.position(j)
+		sh.mu.Unlock()
 	}
 	return out, nil
 }
@@ -525,16 +678,29 @@ func (s *Service) Metrics() (*Metrics, error) {
 		JobsQueued:      s.pending,
 		JobsSequenced:   len(s.log),
 		Draining:        s.draining,
+		Shedding:        s.gov != nil && s.gov.shedding(),
+		SnapshotSeq:     s.lastAdv,
 		EstimatedShapes: s.sch.Estimator().Len(),
-		Tenants:         make(map[string]TenantStat, len(s.ring)),
+		Tenants:         make(map[string]TenantStat, len(s.tenants)),
 	}
 	m.JobsAccepted = m.JobsQueued + m.JobsSequenced
-	for _, t := range s.ring {
-		st := TenantStat{Accepted: s.count[t], Queued: len(s.queues[t])}
+	for _, t := range s.tenants {
+		st := TenantStat{Accepted: s.count[t], Queued: s.queued[t]}
 		st.Sequenced = st.Accepted - st.Queued
 		m.Tenants[t] = st
 	}
-	snap, err := s.snapshotLocked()
+	if len(s.shards) > 1 {
+		m.Shards = make([]ShardStat, len(s.shards))
+		for i := range s.byShard {
+			m.Shards[i].Sequenced = s.byShard[i].sequenced
+		}
+		for _, t := range s.tenants {
+			i := s.shardOf(t).idx
+			m.Shards[i].Tenants++
+			m.Shards[i].Queued += s.queued[t]
+		}
+	}
+	snap, err := s.resultLocked()
 	if err != nil {
 		return nil, err
 	}
@@ -578,20 +744,37 @@ func (s *Service) WaitSequenced(n int, timeout time.Duration) int {
 	return len(s.log)
 }
 
-// Drain stops admission, sequences everything still queued, and
-// returns the final schedule of the whole request log. It is
-// idempotent; concurrent and later calls return the same result.
+// Drain stops admission, sequences everything still queued on every
+// shard, and returns the final schedule of the whole request log. It
+// is idempotent; concurrent and later calls return the same result.
 func (s *Service) Drain() (*sched.Result, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	first := !s.draining
 	s.draining = true
-	s.advanceLocked(0)
+	s.mu.Unlock()
+	if first {
+		s.lg.Info("draining")
+	}
+
+	// Flush every shard. A shard's lock is held from pop through merge,
+	// so once a shard is drained here none of its jobs are in flight.
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		s.sequenceLocked(sh, 0)
+		sh.stopped = true
+		sh.cond.Broadcast()
+		sh.mu.Unlock()
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if !s.stopped {
 		s.stopped = true
 		s.cond.Broadcast()
 		close(s.drainCh)
+		s.lg.Info("drained", "jobs", len(s.log))
 	}
-	r, err := s.snapshotLocked()
+	r, err := s.resultLocked()
 	if err == nil {
 		err = s.logErr
 	}
@@ -612,6 +795,25 @@ func (s *Service) ReplayLog() string {
 	return workload.FormatTrace(s.log)
 }
 
+// ShardedReplayLog renders the request log as per-shard sections under
+// "# shard N" directives (each shard's jobs in local sequencing order,
+// with their merged arrival times). workload.ParseTrace namespaces the
+// ids per section, so logs from different shards — or different
+// services — can be concatenated without id collisions.
+func (s *Service) ShardedReplayLog() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var b strings.Builder
+	b.WriteString(workload.TraceHeader)
+	for i := range s.byShard {
+		fmt.Fprintf(&b, "# shard %d\n", i)
+		for _, tj := range s.byShard[i].log {
+			b.WriteString(workload.FormatJob(tj))
+		}
+	}
+	return b.String()
+}
+
 // LogErr reports the first request-log write error, if any.
 func (s *Service) LogErr() error {
 	s.mu.Lock()
@@ -624,3 +826,6 @@ func (s *Service) Cluster() sched.Cluster { return s.cfg.Cluster }
 
 // PolicyName returns the configured policy name.
 func (s *Service) PolicyName() string { return s.cfg.Policy.Name }
+
+// Shards returns the configured shard count.
+func (s *Service) Shards() int { return len(s.shards) }

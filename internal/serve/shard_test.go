@@ -1,0 +1,407 @@
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// TestMultiShardReplayByteIdentical is the sharded variant of the
+// single-sequencer replay guarantee: traffic from many tenants spread
+// over 4 independent sequencers merges into one log whose offline
+// replay reproduces the drain result byte for byte.
+func TestMultiShardReplayByteIdentical(t *testing.T) {
+	var logBuf bytes.Buffer
+	s := mustNew(t, Config{Shards: 4, SnapshotEvery: 8, RequestLog: &logBuf})
+
+	const tenants, each = 16, 4
+	var wg sync.WaitGroup
+	for ti := 0; ti < tenants; ti++ {
+		wg.Add(1)
+		go func(ti int) {
+			defer wg.Done()
+			for k := 0; k < each; k++ {
+				req := small(fmt.Sprintf("c%d", ti), fmt.Sprintf("j%d", k))
+				if _, err := s.Submit(req); err != nil {
+					t.Errorf("submit c%d/j%d: %v", ti, k, err)
+				}
+			}
+		}(ti)
+	}
+	wg.Wait()
+	if n := s.WaitSequenced(tenants*each, 5*time.Second); n != tenants*each {
+		t.Fatalf("sequenced %d jobs, want %d", n, tenants*each)
+	}
+	final, err := s.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	logText := s.ReplayLog()
+	if logBuf.String() != logText {
+		t.Fatal("incremental request log differs from ReplayLog")
+	}
+	trace, err := workload.ParseTrace(strings.NewReader(logText))
+	if err != nil {
+		t.Fatalf("request log is not a valid trace: %v", err)
+	}
+	// Arrivals are the dense deterministic grid regardless of which
+	// shard merged each slot.
+	for i, tj := range trace {
+		if tj.ArrivalMS != int64(i) {
+			t.Fatalf("job %d arrival %d, want %d", i, tj.ArrivalMS, i)
+		}
+	}
+	fresh, err := sched.NewScheduler(testCluster(), sched.Packing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := fresh.Run(sched.JobsFromTrace(trace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := fmt.Sprintf("%+v", replayed), fmt.Sprintf("%+v", final); got != want {
+		t.Errorf("offline replay differs from service result:\n--- replay\n%s\n--- service\n%s", got, want)
+	}
+	if !reflect.DeepEqual(replayed.Jobs, final.Jobs) {
+		t.Error("per-job results differ between service and replay")
+	}
+
+	// The sharded export parses under the shard directives with
+	// namespaced ids and covers exactly the merged log.
+	sharded, err := workload.ParseTrace(strings.NewReader(s.ShardedReplayLog()))
+	if err != nil {
+		t.Fatalf("sharded replay log is not a valid trace: %v", err)
+	}
+	if len(sharded) != len(trace) {
+		t.Fatalf("sharded log has %d jobs, merged log %d", len(sharded), len(trace))
+	}
+	arrivals := make(map[string]int64, len(trace))
+	for _, tj := range trace {
+		arrivals[tj.ID] = tj.ArrivalMS
+	}
+	busy := map[string]bool{}
+	for _, tj := range sharded {
+		prefix, id, ok := strings.Cut(tj.ID, "/")
+		if !ok || !strings.HasPrefix(prefix, "s") {
+			t.Fatalf("sharded id %q not namespaced", tj.ID)
+		}
+		busy[prefix] = true
+		want, known := arrivals[id]
+		if !known {
+			t.Fatalf("sharded job %q not in merged log", tj.ID)
+		}
+		if tj.ArrivalMS != want {
+			t.Fatalf("sharded job %q arrival %d, merged %d", tj.ID, tj.ArrivalMS, want)
+		}
+	}
+	if len(busy) < 2 {
+		t.Errorf("16 tenants landed on %d shard(s); expected the hash to spread them", len(busy))
+	}
+}
+
+// TestDrainDuringConcurrentSubmits storms every shard from many
+// goroutines while a drain fires mid-flight: every submission must
+// either be sequenced exactly once or be refused — no lost jobs, no
+// double sequencing. Run under -race in CI.
+func TestDrainDuringConcurrentSubmits(t *testing.T) {
+	s := mustNew(t, Config{Shards: 4, SnapshotEvery: 16, QueueDepth: 1 << 16})
+
+	const workers, each = 8, 50
+	accepted := make([][]string, workers)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			for k := 0; k < each; k++ {
+				req := small(fmt.Sprintf("w%d", w), fmt.Sprintf("j%d", k))
+				st, err := s.Submit(req)
+				switch {
+				case err == nil:
+					accepted[w] = append(accepted[w], st.ID)
+				case errors.Is(err, ErrDraining):
+					// refused; must not appear in the log
+				default:
+					t.Errorf("submit w%d/j%d: %v", w, k, err)
+				}
+			}
+		}(w)
+	}
+	var final *sched.Result
+	var drainErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-start
+		time.Sleep(time.Millisecond)
+		final, drainErr = s.Drain()
+	}()
+	close(start)
+	wg.Wait()
+	if drainErr != nil {
+		t.Fatal(drainErr)
+	}
+
+	counts := map[string]int{}
+	for _, jr := range final.Jobs {
+		counts[jr.ID]++
+	}
+	total := 0
+	for w := range accepted {
+		for _, id := range accepted[w] {
+			if counts[id] != 1 {
+				t.Errorf("accepted job %s appears %d times in the final schedule", id, counts[id])
+			}
+			total++
+		}
+	}
+	if len(final.Jobs) != total {
+		t.Errorf("final schedule has %d jobs, %d were accepted", len(final.Jobs), total)
+	}
+	// Drain is idempotent after the storm.
+	again, err := s.Drain()
+	if err != nil || again != final {
+		t.Errorf("second drain = (%p, %v), want identical result", again, err)
+	}
+}
+
+// TestCheckpointResumeEqualsFullReplay: a mid-stream checkpoint plus
+// the log suffix reproduces the full-history drain result byte for
+// byte — the crash-recovery/compaction guarantee.
+func TestCheckpointResumeEqualsFullReplay(t *testing.T) {
+	s := mustNew(t, Config{Manual: true, Shards: 3, SnapshotEvery: 2})
+	nets := []SubmitRequest{
+		{Network: "AlexNet", Batch: 16, Iterations: 2},
+		{Network: "AlexNet", Batch: 32, Priority: 5},
+		{Network: "AlexNet", Schedule: "16x2,32", Iterations: 3, Manager: "superneurons"},
+		{Network: "AlexNet", Batch: 1024}, // deterministically rejected
+	}
+	submit := func(n int) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			req := nets[i%len(nets)]
+			req.Tenant = fmt.Sprintf("t%d", i%5)
+			if _, err := s.Submit(req); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	submit(12)
+	s.Advance(0)
+
+	ckpt, err := s.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	submit(7)
+	s.Advance(0)
+	final, err := s.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cs, err := RestoreCheckpoint(ckpt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Seq != 12 || cs.SpacingMS != 1 {
+		t.Fatalf("checkpoint covers seq %d spacing %d, want 12 and 1", cs.Seq, cs.SpacingMS)
+	}
+	trace, err := workload.ParseTrace(strings.NewReader(s.ReplayLog()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := cs.Resume(sched.JobsFromTrace(trace[cs.Seq:]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(resumed, final) {
+		t.Fatalf("checkpoint-resumed result diverges from full replay:\ngot  %+v\nwant %+v", resumed, final)
+	}
+	if fmt.Sprintf("%+v", resumed) != fmt.Sprintf("%+v", final) {
+		t.Fatal("rendered results differ")
+	}
+}
+
+func TestCheckpointDisabledAndMalformed(t *testing.T) {
+	s := mustNew(t, Config{Manual: true})
+	if _, err := s.Checkpoint(); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("checkpoint without compaction: %v, want ErrNoCheckpoint", err)
+	}
+
+	sc := mustNew(t, Config{Manual: true, SnapshotEvery: 1})
+	if _, err := sc.Submit(small("t", "a")); err != nil {
+		t.Fatal(err)
+	}
+	sc.Advance(0)
+	good, err := sc.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RestoreCheckpoint(good, nil); err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	bad := map[string][]byte{
+		"empty":        nil,
+		"bad magic":    []byte("snckpt 99\nseq 0 1\nsched 0\nend\n"),
+		"no seq":       []byte("snckpt 1\n"),
+		"neg seq":      []byte("snckpt 1\nseq -1 1\nsched 0\nend\n"),
+		"zero spacing": []byte("snckpt 1\nseq 0 0\nsched 0\nend\n"),
+		"short body":   []byte("snckpt 1\nseq 0 1\nsched 999\nxx"),
+		"truncated":    good[:len(good)-6],
+		"junk payload": []byte("snckpt 1\nseq 0 1\nsched 4\njunkend\n"),
+		"seq mismatch": bytes.Replace(good, []byte("seq 1 "), []byte("seq 2 "), 1),
+	}
+	for name, data := range bad {
+		if _, err := RestoreCheckpoint(data, nil); err == nil {
+			t.Errorf("%s: malformed checkpoint accepted", name)
+		}
+	}
+}
+
+// FuzzRestoreCheckpoint asserts the checkpoint framing and snapshot
+// decoders never panic and never accept a frame whose declared seq
+// disagrees with the embedded replay state. Resume liveness is NOT
+// asserted here: a syntactically valid mutant may encode astronomical
+// remaining work (e.g. 2^50 iterations) that the simulator would
+// faithfully — and slowly — execute; semantic equivalence of resumed
+// replays is covered deterministically by
+// TestCheckpointResumeEqualsFullReplay.
+func FuzzRestoreCheckpoint(f *testing.F) {
+	s, err := New(Config{Cluster: testCluster(), Manual: true, SnapshotEvery: 2})
+	if err != nil {
+		f.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := s.Submit(small(fmt.Sprintf("t%d", i%2), fmt.Sprintf("j%d", i))); err != nil {
+			f.Fatal(err)
+		}
+	}
+	s.Advance(0)
+	good, err := s.Checkpoint()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add([]byte("snckpt 1\nseq 0 1\nsched 0\nend\n"))
+	f.Add([]byte("snckpt 1\nseq 3 5\nsched 10\n0123456789end\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cs, err := RestoreCheckpoint(data, nil)
+		if err != nil {
+			return
+		}
+		if cs.Replay == nil || cs.Replay.Len() != cs.Seq {
+			t.Fatalf("accepted checkpoint has %v jobs for declared seq %d", cs.Replay, cs.Seq)
+		}
+	})
+}
+
+// TestGovernorShedAndRecover drives the latency window directly
+// through both transitions.
+func TestGovernorShedAndRecover(t *testing.T) {
+	g := newGovernor(10*time.Millisecond, slog.New(slog.NewTextHandler(io.Discard, nil)))
+	for i := 0; i < governorWindow; i++ {
+		g.observe(time.Millisecond)
+	}
+	if g.shedding() {
+		t.Fatal("governor shed under a healthy p99")
+	}
+	for i := 0; i < governorWindow; i++ {
+		g.observe(100 * time.Millisecond)
+	}
+	if !g.shedding() {
+		t.Fatal("governor did not shed with p99 10x over the SLO")
+	}
+	// Fast (shed-path) samples refill the window; hysteresis clears.
+	for i := 0; i < 2*governorWindow; i++ {
+		g.observe(time.Millisecond)
+	}
+	if g.shedding() {
+		t.Fatal("governor never recovered after the window drained")
+	}
+}
+
+// TestServiceShedsUnderSLO: with an impossible SLO the service starts
+// refusing work with ErrOverloaded and a retry hint.
+func TestServiceShedsUnderSLO(t *testing.T) {
+	s := mustNew(t, Config{Manual: true, SLOTargetP99: time.Nanosecond, QueueDepth: 1 << 16})
+	var overloaded error
+	for i := 0; i < 4*governorWindow; i++ {
+		_, err := s.Submit(small("t", fmt.Sprintf("j%d", i)))
+		if err != nil {
+			overloaded = err
+			break
+		}
+	}
+	if !errors.Is(overloaded, ErrOverloaded) {
+		t.Fatalf("service never shed under a 1ns SLO: %v", overloaded)
+	}
+	var re *RetryableError
+	if !errors.As(overloaded, &re) || re.RetryAfter <= 0 {
+		t.Fatalf("shed error carries no retry hint: %v", overloaded)
+	}
+	if m, err := s.Metrics(); err != nil || !m.Shedding {
+		t.Errorf("metrics shedding = %v (err %v), want true", m != nil && m.Shedding, err)
+	}
+}
+
+// BenchmarkServeStatusAfterN measures one marginal
+// submit+sequence+status round at history length n. With compaction
+// off every status replays the whole log (linear in n); with
+// SnapshotEvery set the replay resumes from the watermark and the cost
+// stays flat. Arrivals are spaced a virtual minute apart so the
+// simulated cluster keeps up with the log — compaction can only
+// finalize work the cluster has virtually completed, so a permanently
+// backlogged trace would keep the suffix growing no matter the
+// watermark.
+func BenchmarkServeStatusAfterN(b *testing.B) {
+	for _, n := range []int{512, 2048, 8192} {
+		for _, every := range []int{0, 64} {
+			mode := "off"
+			if every > 0 {
+				mode = "on"
+			}
+			b.Run(fmt.Sprintf("history=%d/snapshot=%s", n, mode), func(b *testing.B) {
+				s, err := New(Config{Cluster: testCluster(), Manual: true, QueueDepth: 1 << 20, SnapshotEvery: every, SpacingMS: 60_000})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for i := 0; i < n; i++ {
+					if _, err := s.Submit(small("t", fmt.Sprintf("h%d", i))); err != nil {
+						b.Fatal(err)
+					}
+				}
+				s.Advance(0)
+				if _, err := s.Status("t/h0"); err != nil { // warm the replay memo
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					id := fmt.Sprintf("t/x%d", i)
+					if _, err := s.Submit(SubmitRequest{Tenant: "t", ID: fmt.Sprintf("x%d", i), Network: "AlexNet", Batch: 16}); err != nil {
+						b.Fatal(err)
+					}
+					s.Advance(1)
+					if _, err := s.Status(id); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
