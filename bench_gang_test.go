@@ -1,0 +1,45 @@
+package superneurons
+
+import (
+	"testing"
+)
+
+// BenchmarkGangScheduling replays the bundled 1000-job gang trace on
+// a 256-device multi-node cluster (nodes of 8, NVLink islands of 4,
+// all-reduce overlapped) under each scheduling policy. Gang admission
+// multiplies the scheduler's work per decision — every member device
+// is dry-run-checked and reserved atomically — so this benchmark
+// gates the placement hot path at cluster scale, where
+// BenchmarkMultiTenantSchedulers gates it at two devices.
+func BenchmarkGangScheduling(b *testing.B) {
+	cluster := Cluster{
+		Device:   TeslaK40c,
+		Devices:  256,
+		Topology: DefaultClusterTopology(),
+		Overlap:  true,
+	}
+	jobs := GangClusterTrace()
+	for _, p := range SchedulerPolicies() {
+		b.Run(p.Name, func(b *testing.B) {
+			s, err := NewScheduler(cluster, p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var last *ScheduleResult
+			for i := 0; i < b.N; i++ {
+				r, err := s.Run(jobs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = r
+			}
+			preempts := 0
+			for _, j := range last.Jobs {
+				preempts += j.Preemptions
+			}
+			b.Logf("%s: makespan %v, compute util %.1f%%, mean jct %v, mean wait %v, preemptions %d",
+				p.Name, last.Makespan, 100*last.ComputeUtilization,
+				last.MeanJCT(), last.MeanWait(), preempts)
+		})
+	}
+}

@@ -14,12 +14,21 @@
 //	snsched -trace jobs.trace       # replay a custom trace file
 //	snsched -dynamic                # bundled dynamic-batch trace
 //	snsched -policy packing -devices 4 -device titanxp
+//	snsched -gang                   # bundled 256-device gang trace
+//	snsched -gang -overlap -policy topo
 //	snsched -dump-trace             # print the bundled trace file
 //
 // Dynamic jobs declare a per-iteration batch schedule in the trace's
 // batch field ("128x2,512" runs two iterations at 128 then one at
 // 512); admission reserves the worst-case shape, so a ramping job can
 // never OOM its device mid-run.
+//
+// Multi-GPU jobs declare a gang size in the trace's optional gpus=N
+// field; -gang replays the bundled 1000-job gang trace on a 256-device
+// multi-node cluster (nodes of 8, NVLink islands of 4), where the
+// topology-aware "topo" policy packs gangs onto the fastest
+// interconnect tier that holds them. -overlap hides each gang's
+// bucketed all-reduce behind the backward pass.
 package main
 
 import (
@@ -40,6 +49,8 @@ import (
 type options struct {
 	tracePath string
 	dynamic   bool
+	gang      bool
+	overlap   bool
 	devices   int
 	device    string
 	policyArg string
@@ -54,16 +65,21 @@ func main() {
 	)
 	flag.StringVar(&o.tracePath, "trace", "", "trace file (default: the bundled multi-tenant trace)")
 	flag.BoolVar(&o.dynamic, "dynamic", false, "replay the bundled dynamic-batch trace instead of the static default")
-	flag.IntVar(&o.devices, "devices", 2, "number of GPUs in the cluster")
+	flag.BoolVar(&o.gang, "gang", false, "replay the bundled multi-GPU gang trace on a 256-device multi-node cluster")
+	flag.BoolVar(&o.overlap, "overlap", false, "overlap gang all-reduce with backward compute")
+	flag.IntVar(&o.devices, "devices", 0, "number of GPUs in the cluster (default 2, or 256 with -gang)")
 	flag.StringVar(&o.device, "device", "k40c", "device profile: k40c or titanxp")
-	flag.StringVar(&o.policyArg, "policy", "all", "scheduler policy: fifo, priority, packing or all")
+	flag.StringVar(&o.policyArg, "policy", "all", "scheduler policy: fifo, priority, packing, topo or all")
 	flag.BoolVar(&dump, "dump-trace", false, "print the bundled trace in the trace-file format and exit")
 	flag.Parse()
 
 	if dump {
-		if o.dynamic {
+		switch {
+		case o.gang:
+			fmt.Print(workload.FormatTrace(workload.GangTrace()))
+		case o.dynamic:
 			fmt.Print(workload.FormatTrace(workload.DefaultDynamicTrace()))
-		} else {
+		default:
 			fmt.Print(workload.FormatTrace(workload.DefaultTrace()))
 		}
 		return
@@ -75,8 +91,17 @@ func main() {
 
 func run(o options, w io.Writer) error {
 	trace := workload.DefaultTrace()
-	if o.dynamic {
+	switch {
+	case o.gang:
+		trace = workload.GangTrace()
+	case o.dynamic:
 		trace = workload.DefaultDynamicTrace()
+	}
+	if o.devices <= 0 {
+		o.devices = 2
+		if o.gang {
+			o.devices = workload.GangClusterDevices
+		}
 	}
 	if o.tracePath != "" {
 		f, err := os.Open(o.tracePath)
@@ -85,8 +110,10 @@ func run(o options, w io.Writer) error {
 		}
 		defer f.Close()
 		// A malformed trace is a user error: fail with the file and the
-		// offending line (ParseTrace names it), never a bare message.
-		if trace, err = workload.ParseTrace(f); err != nil {
+		// offending line (the parser names it, and a gang wider than the
+		// cluster dies here, not hours into the replay), never a bare
+		// message.
+		if trace, err = workload.ParseTraceLimit(f, o.devices); err != nil {
 			return fmt.Errorf("%s: %w", o.tracePath, err)
 		}
 	}
@@ -100,7 +127,10 @@ func run(o options, w io.Writer) error {
 	default:
 		return fmt.Errorf("unknown device %q (have k40c, titanxp)", o.device)
 	}
-	cluster := sched.Cluster{Device: dev, Devices: o.devices}
+	cluster := sched.Cluster{Device: dev, Devices: o.devices, Overlap: o.overlap}
+	if o.gang {
+		cluster.Topology = hw.DefaultTopology()
+	}
 	jobs := sched.JobsFromTrace(trace)
 
 	var results []*sched.Result
@@ -112,7 +142,7 @@ func run(o options, w io.Writer) error {
 	} else {
 		p, ok := sched.PolicyByName(o.policyArg)
 		if !ok {
-			return fmt.Errorf("unknown policy %q (have fifo, priority, packing, all)", o.policyArg)
+			return fmt.Errorf("unknown policy %q (have fifo, priority, packing, topo, all)", o.policyArg)
 		}
 		s, err := sched.NewScheduler(cluster, p)
 		if err != nil {
@@ -152,7 +182,7 @@ func render(w io.Writer, r *sched.Result) {
 			continue
 		}
 		jt.Add(j.ID, j.Network, batch, mgr, fmt.Sprint(j.Priority),
-			fmt.Sprint(j.Device), ms(int64(j.Arrival)), j.Wait.String(), j.JCT.String(),
+			gangLabel(j), ms(int64(j.Arrival)), j.Wait.String(), j.JCT.String(),
 			fmt.Sprint(j.Preemptions))
 	}
 	fmt.Fprintln(w, jt.String())
@@ -182,6 +212,19 @@ func renderComparison(w io.Writer, results []*sched.Result) {
 			r.MeanJCT().String(), r.MeanWait().String(), fmt.Sprint(pre), fmt.Sprint(rej))
 	}
 	fmt.Fprintln(w, t.String())
+}
+
+// gangLabel renders a job's placement: the device for singles, the
+// full gang ("0+1+2+3") for multi-GPU jobs.
+func gangLabel(j sched.JobResult) string {
+	if len(j.Gang) == 0 {
+		return fmt.Sprint(j.Device)
+	}
+	parts := make([]string, len(j.Gang))
+	for i, g := range j.Gang {
+		parts[i] = fmt.Sprint(g)
+	}
+	return strings.Join(parts, "+")
 }
 
 func ms(ns int64) string { return fmt.Sprintf("%dms", ns/1e6) }

@@ -146,3 +146,44 @@ func TestDynamicTraceFileMatchesBundled(t *testing.T) {
 		t.Error("replaying the formatted dynamic trace from a file differs from the built-in")
 	}
 }
+
+// The bundled gang trace replays deterministically on the 256-device
+// multi-node cluster — the CLI half of the gang determinism gate —
+// and renders gang placements in the job table.
+func TestGangReplayDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	opts := options{gang: true, overlap: true, device: "k40c", policyArg: "topo"}
+	if err := run(opts, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(opts, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two gang replays differ")
+	}
+	out := a.String()
+	if !strings.Contains(out, "policy topo") {
+		t.Error("output missing the topo policy table")
+	}
+	if !strings.Contains(out, "+") {
+		t.Error("job table renders no multi-device gang placement")
+	}
+}
+
+// A trace whose gang exceeds the cluster fails at parse time with the
+// offending line, before any simulation runs.
+func TestGangWiderThanClusterFailsAtParse(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wide.trace")
+	trace := "ok 0 AlexNet 16 naive 1 1\nwide 10 AlexNet 16 naive 1 1 gpus=3\n"
+	if err := os.WriteFile(path, []byte(trace), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run(options{tracePath: path, devices: 2, device: "k40c", policyArg: "packing"}, &bytes.Buffer{})
+	if err == nil {
+		t.Fatal("gang wider than the cluster accepted")
+	}
+	if !strings.Contains(err.Error(), "line 2") || !strings.Contains(err.Error(), "gang needs 3 devices") {
+		t.Errorf("error %q does not name the line and the gang width", err)
+	}
+}

@@ -27,7 +27,22 @@ type Config struct {
 	// PerGPU configures each replica's runtime.
 	PerGPU core.Config
 	// Interconnect carries the gradient exchange (PCIe P2P when zero).
+	// When Gang is set it is derived from Topology instead.
 	Interconnect hw.LinkSpec
+	// Gang optionally names the concrete device indices of the
+	// replicas; with a Topology it prices the exchange by the slowest
+	// pairwise link in the gang (a ring moves every byte across every
+	// hop, so the worst wire sets the collective's speed).
+	Gang []int
+	// Topology classifies device pairs into interconnect tiers when
+	// Gang is set.
+	Topology hw.Topology
+	// Buckets splits the gradient into that many ring all-reduces
+	// (DefaultBuckets when 0). Bucketing is what makes overlap
+	// possible — a bucket can start reducing as soon as its gradients
+	// exist — at the price of one extra per-step link latency per
+	// bucket.
+	Buckets int
 	// OverlapComm overlaps the all-reduce with the tail of the
 	// backward pass (bucketed gradient exchange); without it the
 	// exchange serializes after the iteration.
@@ -56,16 +71,62 @@ type Result struct {
 // bytes across k participants: 2(k-1)/k of the data crosses each
 // link, plus per-step latency.
 func RingAllReduceTime(link hw.LinkSpec, bytes int64, k int) sim.Duration {
-	if k <= 1 {
+	return GangAllReduce(link, bytes, k, 1)
+}
+
+// DefaultBuckets is the gradient bucket count of the bucketed
+// exchange: fine enough that the first bucket is ready early in the
+// backward pass, coarse enough that the per-bucket latency overhead
+// stays below a percent of the bandwidth term for the networks in the
+// zoo.
+const DefaultBuckets = 8
+
+// GangAllReduce prices a bucketed ring all-reduce of n bytes across k
+// participants on one link (the caller passes the slowest link of the
+// gang; see hw.Topology.SlowestLink). The gradient is split into
+// `buckets` independent ring all-reduces; each moves 2(k-1)/k of its
+// bucket across every link with a per-step setup latency, so more
+// buckets cost more latency but expose earlier overlap opportunities.
+func GangAllReduce(link hw.LinkSpec, bytes int64, k, buckets int) sim.Duration {
+	if k <= 1 || bytes <= 0 {
 		return 0
 	}
+	if buckets <= 0 {
+		buckets = 1
+	}
+	if int64(buckets) > bytes {
+		buckets = int(bytes)
+	}
 	steps := 2 * (k - 1)
-	chunk := bytes / int64(k)
+	per := bytes / int64(buckets)
 	var total sim.Duration
-	for i := 0; i < steps; i++ {
-		total += link.TransferTime(chunk)
+	for b := 0; b < buckets; b++ {
+		bb := per
+		if b == buckets-1 {
+			bb = bytes - per*int64(buckets-1) // last bucket carries the remainder
+		}
+		chunk := bb / int64(k)
+		for i := 0; i < steps; i++ {
+			total += link.TransferTime(chunk)
+		}
 	}
 	return total
+}
+
+// ExposedAllReduce is the overlap model: with overlap enabled, the
+// bucketed exchange hides behind the backward half of the iteration
+// (gradients materialize back-to-front through backprop, so roughly
+// half the iteration is exchange-eligible) and only the remainder
+// extends the iteration; serialized, the whole exchange is exposed.
+func ExposedAllReduce(allReduce, iterTime sim.Duration, overlap bool) sim.Duration {
+	if !overlap {
+		return allReduce
+	}
+	window := iterTime / 2
+	if allReduce > window {
+		return allReduce - window
+	}
+	return 0
 }
 
 // Run simulates one synchronous data-parallel iteration: build
@@ -74,8 +135,16 @@ func Run(build nnet.BuilderFunc, perGPUBatch int, cfg Config) (*Result, error) {
 	if cfg.Replicas < 1 {
 		return nil, fmt.Errorf("dataparallel: need at least one replica, got %d", cfg.Replicas)
 	}
+	if len(cfg.Gang) > 0 {
+		// A placed gang is priced by its slowest pairwise wire.
+		cfg.Interconnect = cfg.Topology.WithDefaults().SlowestLink(cfg.Gang)
+	}
 	if cfg.Interconnect.BytesPerSec == 0 {
 		cfg.Interconnect = hw.PCIeP2P
+	}
+	buckets := cfg.Buckets
+	if buckets <= 0 {
+		buckets = DefaultBuckets
 	}
 	net := build(perGPUBatch)
 	rep, err := core.Run(net, cfg.PerGPU)
@@ -83,20 +152,8 @@ func Run(build nnet.BuilderFunc, perGPUBatch int, cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("dataparallel: replica: %w", err)
 	}
 	grad := net.ParamBytes()
-	ar := RingAllReduceTime(cfg.Interconnect, grad, cfg.Replicas)
-
-	exposed := ar
-	if cfg.OverlapComm && cfg.Replicas > 1 {
-		// Bucketed exchange hides communication behind the backward
-		// half of the iteration; only the remainder is exposed.
-		bwdWindow := rep.IterTime / 2
-		if ar > bwdWindow {
-			exposed = ar - bwdWindow
-		} else {
-			exposed = 0
-		}
-	}
-
+	ar := GangAllReduce(cfg.Interconnect, grad, cfg.Replicas, buckets)
+	exposed := ExposedAllReduce(ar, rep.IterTime, cfg.OverlapComm && cfg.Replicas > 1)
 	iter := rep.IterTime + exposed
 	res := &Result{
 		Replicas:      cfg.Replicas,

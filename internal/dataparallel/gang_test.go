@@ -1,0 +1,98 @@
+package dataparallel
+
+import (
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/nnet"
+	"repro/internal/sim"
+)
+
+// The bucketed exchange degenerates to the classic formula at one
+// bucket, and bucketing only ever adds per-step latency.
+func TestGangAllReduceBucketing(t *testing.T) {
+	link := hw.LinkSpec{Name: "t", BytesPerSec: 1e9, Latency: sim.Microsecond}
+	bytes, k := int64(64<<20), 8
+	one := GangAllReduce(link, bytes, k, 1)
+	if one != RingAllReduceTime(link, bytes, k) {
+		t.Error("one bucket must match the classic ring formula")
+	}
+	prev := one
+	for buckets := 2; buckets <= 64; buckets *= 2 {
+		got := GangAllReduce(link, bytes, k, buckets)
+		if got < prev {
+			t.Errorf("%d buckets cost %v, less than %d buckets %v", buckets, got, buckets/2, prev)
+		}
+		prev = got
+	}
+	// On a latency-free wire the split is exact: buckets cost nothing.
+	free := hw.LinkSpec{Name: "f", BytesPerSec: 1e9}
+	a := GangAllReduce(free, 64<<20, 8, 1)
+	b := GangAllReduce(free, 64<<20, 8, 8)
+	// Integer chunking may drop sub-byte remainders per bucket.
+	if d := a - b; d < 0 || d > sim.Microsecond {
+		t.Errorf("latency-free bucketing shifted cost by %v", d)
+	}
+}
+
+// Property: the exchange price is monotone in message size.
+func TestGangAllReduceMonotoneInSize(t *testing.T) {
+	link := hw.PCIeP2P
+	var prev sim.Duration
+	for bytes := int64(1 << 10); bytes <= 1<<30; bytes <<= 2 {
+		got := GangAllReduce(link, bytes, 4, DefaultBuckets)
+		if got < prev {
+			t.Fatalf("%d bytes cost %v, less than a smaller message's %v", bytes, got, prev)
+		}
+		prev = got
+	}
+}
+
+// The overlap model: serialized exposes everything; overlapped hides
+// up to half the iteration and exposes the remainder.
+func TestExposedAllReduceModel(t *testing.T) {
+	iter := sim.Duration(10 * sim.Millisecond)
+	cases := []struct {
+		name    string
+		ar      sim.Duration
+		overlap bool
+		want    sim.Duration
+	}{
+		{"serialized exposes all", 3 * sim.Millisecond, false, 3 * sim.Millisecond},
+		{"small exchange fully hidden", 3 * sim.Millisecond, true, 0},
+		{"exactly the window", 5 * sim.Millisecond, true, 0},
+		{"overflow is exposed", 8 * sim.Millisecond, true, 3 * sim.Millisecond},
+		{"zero exchange", 0, true, 0},
+	}
+	for _, c := range cases {
+		if got := ExposedAllReduce(c.ar, iter, c.overlap); got != c.want {
+			t.Errorf("%s: ExposedAllReduce(%v, %v, %v) = %v, want %v", c.name, c.ar, iter, c.overlap, got, c.want)
+		}
+	}
+}
+
+// A placed gang is priced by its slowest pairwise wire: the same
+// replicas cost more per iteration across nodes than inside an
+// NVLink island.
+func TestGangPlacementPricesBySlowestTier(t *testing.T) {
+	topo := hw.DefaultTopology()
+	run := func(gang []int) *Result {
+		cfg := cfgFor(len(gang), false)
+		cfg.Interconnect = hw.LinkSpec{}
+		cfg.Gang = gang
+		cfg.Topology = topo
+		r, err := Run(nnet.AlexNet, 64, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	island := run([]int{0, 1, 2, 3})
+	crossNode := run([]int{0, 8, 16, 24})
+	if island.AllReduceTime >= crossNode.AllReduceTime {
+		t.Errorf("island all-reduce %v not below cross-node %v", island.AllReduceTime, crossNode.AllReduceTime)
+	}
+	if island.IterTime >= crossNode.IterTime {
+		t.Errorf("island iteration %v not below cross-node %v", island.IterTime, crossNode.IterTime)
+	}
+}

@@ -1,0 +1,202 @@
+package hw
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Interconnect tiers. The paper's cost model (§3.3.2, §5) prices
+// offload and prefetch against a single host link; a multi-node
+// cluster adds the dimension the per-device model leaves open: which
+// pair of devices shares which wire. Three tiers cover the machines of
+// the paper's era and their descendants:
+//
+//   - TierNVLink: device pairs inside one NVLink island share the
+//     point-to-point mesh — the fast tier.
+//   - TierPCIe: same-node pairs in different islands (or nodes without
+//     NVLink) cross the PCIe switch complex.
+//   - TierNetwork: cross-node pairs ride the fabric (GPUDirect RDMA in
+//     the paper's measurement).
+//
+// Only the ratio between tiers matters for placement decisions, just
+// as only the kernel-cost ratios matter for the offload decisions; the
+// tiers therefore reuse the same LinkSpec roofline the host link uses.
+type Tier int
+
+const (
+	// TierNVLink connects device pairs within one NVLink island.
+	TierNVLink Tier = iota
+	// TierPCIe connects same-node pairs in different islands.
+	TierPCIe
+	// TierNetwork connects pairs on different nodes.
+	TierNetwork
+)
+
+// String names the tier for reports.
+func (t Tier) String() string {
+	switch t {
+	case TierNVLink:
+		return "nvlink"
+	case TierPCIe:
+		return "pcie"
+	case TierNetwork:
+		return "network"
+	}
+	return fmt.Sprintf("tier(%d)", int(t))
+}
+
+// NVLink is the intra-island device-to-device link: a single NVLink
+// 1.0 brick sustains ~18 GB/s practical per direction with negligible
+// setup cost next to PCIe DMA descriptors.
+var NVLink = LinkSpec{Name: "nvlink", BytesPerSec: 18e9, Latency: 5 * sim.Microsecond}
+
+// NodeNetwork is the cross-node fabric: GPUDirect RDMA at the paper's
+// quoted 6 GB/s practical (§3.3.2), with host-adapter setup latency.
+var NodeNetwork = GPUDirectRDMA
+
+// Topology describes which device pairs of a cluster share which
+// interconnect tier. Devices are numbered densely; node membership and
+// island membership follow from integer division, which keeps the
+// whole topology a comparable value (it is embedded in scheduler
+// results and snapshot keys).
+//
+// The zero Topology means "no structure declared": every pair is
+// same-node PCIe peer-to-peer, matching the single-node clusters of
+// earlier evaluations. Normalize callers through WithDefaults.
+type Topology struct {
+	// DevicesPerNode is the number of devices per node; 0 places every
+	// device on one node.
+	DevicesPerNode int
+	// NVLinkIsland is the number of devices per NVLink island within a
+	// node; 0 means the node has no NVLink and same-node pairs use the
+	// PCIe tier.
+	NVLinkIsland int
+	// NVLink, PCIe and Network are the per-tier link profiles.
+	NVLink  LinkSpec
+	PCIe    LinkSpec
+	Network LinkSpec
+}
+
+// DefaultTopology is a DGX-style node layout: nodes of 8 devices, two
+// 4-device NVLink islands per node, PCIe across islands and GPUDirect
+// RDMA across nodes.
+func DefaultTopology() Topology {
+	return Topology{
+		DevicesPerNode: 8,
+		NVLinkIsland:   4,
+		NVLink:         NVLink,
+		PCIe:           PCIeP2P,
+		Network:        NodeNetwork,
+	}
+}
+
+// WithDefaults fills the zero values: an undeclared node size means
+// one flat node, and unset links take the era profiles (PCIe P2P
+// within a node, NVLink for islands, GPUDirect RDMA across nodes).
+func (t Topology) WithDefaults() Topology {
+	if t.DevicesPerNode <= 0 {
+		t.DevicesPerNode = 1 << 30 // one flat node
+	}
+	if t.NVLinkIsland < 0 {
+		t.NVLinkIsland = 0
+	}
+	if t.NVLink.BytesPerSec == 0 {
+		t.NVLink = NVLink
+	}
+	if t.PCIe.BytesPerSec == 0 {
+		t.PCIe = PCIeP2P
+	}
+	if t.Network.BytesPerSec == 0 {
+		t.Network = NodeNetwork
+	}
+	return t
+}
+
+// Node returns the node index of a device.
+func (t Topology) Node(dev int) int {
+	if t.DevicesPerNode <= 0 {
+		return 0
+	}
+	return dev / t.DevicesPerNode
+}
+
+// SameNode reports whether two devices share a node.
+func (t Topology) SameNode(a, b int) bool { return t.Node(a) == t.Node(b) }
+
+// Island returns a cluster-unique NVLink-island index for a device, or
+// -1 when the topology declares no islands. Two devices share an
+// island exactly when TierBetween classifies them as TierNVLink.
+func (t Topology) Island(dev int) int {
+	if t.NVLinkIsland <= 0 {
+		return -1
+	}
+	if t.DevicesPerNode > 0 {
+		perNode := (t.DevicesPerNode + t.NVLinkIsland - 1) / t.NVLinkIsland
+		return t.Node(dev)*perNode + (dev%t.DevicesPerNode)/t.NVLinkIsland
+	}
+	return dev / t.NVLinkIsland
+}
+
+// TierBetween classifies the link tier between two devices. A device
+// paired with itself is island-local by definition.
+func (t Topology) TierBetween(a, b int) Tier {
+	if !t.SameNode(a, b) {
+		return TierNetwork
+	}
+	if t.NVLinkIsland > 0 {
+		// Islands partition each node; membership is position within
+		// the node, so the classification is symmetric by construction.
+		na, nb := a, b
+		if t.DevicesPerNode > 0 {
+			na, nb = a%t.DevicesPerNode, b%t.DevicesPerNode
+		}
+		if na/t.NVLinkIsland == nb/t.NVLinkIsland {
+			return TierNVLink
+		}
+	}
+	return TierPCIe
+}
+
+// LinkBetween returns the link profile for a device pair.
+func (t Topology) LinkBetween(a, b int) LinkSpec {
+	switch t.TierBetween(a, b) {
+	case TierNVLink:
+		return t.NVLink
+	case TierPCIe:
+		return t.PCIe
+	default:
+		return t.Network
+	}
+}
+
+// SlowestLink returns the slowest pairwise link among the devices — a
+// synchronous collective (ring all-reduce) moves every byte across
+// every hop, so its cost is set by the worst wire in the gang. A gang
+// of one (or none) communicates nothing and gets the fast tier.
+func (t Topology) SlowestLink(devs []int) LinkSpec {
+	slowest := t.NVLink
+	if slowest.BytesPerSec == 0 {
+		slowest = t.PCIe
+	}
+	first := true
+	for i, a := range devs {
+		for _, b := range devs[i+1:] {
+			l := t.LinkBetween(a, b)
+			if first || slower(l, slowest) {
+				slowest = l
+				first = false
+			}
+		}
+	}
+	return slowest
+}
+
+// slower orders links by sustained bandwidth, breaking ties with the
+// higher setup latency.
+func slower(a, b LinkSpec) bool {
+	if a.BytesPerSec != b.BytesPerSec {
+		return a.BytesPerSec < b.BytesPerSec
+	}
+	return a.Latency > b.Latency
+}

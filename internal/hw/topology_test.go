@@ -1,0 +1,106 @@
+package hw
+
+import "testing"
+
+// Tier classification over the default DGX-style layout: nodes of 8,
+// two 4-device NVLink islands per node.
+func TestTierBetweenTable(t *testing.T) {
+	topo := DefaultTopology()
+	cases := []struct {
+		name string
+		a, b int
+		want Tier
+	}{
+		{"self is island-local", 0, 0, TierNVLink},
+		{"same island", 0, 3, TierNVLink},
+		{"second island of node 0", 4, 7, TierNVLink},
+		{"island of a later node", 8, 11, TierNVLink},
+		{"same node across islands", 0, 4, TierPCIe},
+		{"island boundary", 3, 4, TierPCIe},
+		{"later node across islands", 8, 12, TierPCIe},
+		{"adjacent nodes", 7, 8, TierNetwork},
+		{"distant nodes", 0, 255, TierNetwork},
+		{"node boundary", 15, 16, TierNetwork},
+	}
+	for _, c := range cases {
+		if got := topo.TierBetween(c.a, c.b); got != c.want {
+			t.Errorf("%s: TierBetween(%d, %d) = %v, want %v", c.name, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// The zero topology (normalized) is one flat node without NVLink:
+// every pair is a same-node PCIe peer, the historical cluster model.
+func TestZeroTopologyIsFlatPCIe(t *testing.T) {
+	topo := Topology{}.WithDefaults()
+	if tier := topo.TierBetween(0, 100000); tier != TierPCIe {
+		t.Errorf("zero topology classifies pair as %v, want %v", tier, TierPCIe)
+	}
+	if link := topo.SlowestLink([]int{0, 7, 200}); link != topo.PCIe {
+		t.Errorf("zero topology slowest link = %v, want the PCIe tier", link.Name)
+	}
+}
+
+// SlowestLink prices a gang by its worst wire.
+func TestSlowestLinkByGangSpan(t *testing.T) {
+	topo := DefaultTopology().WithDefaults()
+	cases := []struct {
+		name string
+		devs []int
+		want LinkSpec
+	}{
+		{"inside one island", []int{0, 1, 2, 3}, topo.NVLink},
+		{"across islands", []int{0, 4}, topo.PCIe},
+		{"whole node", []int{0, 1, 2, 3, 4, 5, 6, 7}, topo.PCIe},
+		{"across nodes", []int{0, 8}, topo.Network},
+		{"one slow pair poisons the gang", []int{0, 1, 2, 8}, topo.Network},
+		{"gang of one communicates nothing", []int{5}, topo.NVLink},
+	}
+	for _, c := range cases {
+		if got := topo.SlowestLink(c.devs); got != c.want {
+			t.Errorf("%s: SlowestLink(%v) = %q, want %q", c.name, c.devs, got.Name, c.want.Name)
+		}
+	}
+}
+
+// Property: tier classification is symmetric, and island identity
+// agrees with it — two devices share an Island exactly when their
+// tier is NVLink.
+func TestTierSymmetryAndIslandProperty(t *testing.T) {
+	topo := DefaultTopology()
+	for a := 0; a < 48; a++ {
+		for b := 0; b < 48; b++ {
+			ab, ba := topo.TierBetween(a, b), topo.TierBetween(b, a)
+			if ab != ba {
+				t.Fatalf("TierBetween(%d,%d)=%v but TierBetween(%d,%d)=%v", a, b, ab, b, a, ba)
+			}
+			sameIsland := topo.Island(a) == topo.Island(b)
+			if sameIsland != (ab == TierNVLink) {
+				t.Fatalf("Island(%d)=%d Island(%d)=%d but tier %v", a, topo.Island(a), b, topo.Island(b), ab)
+			}
+			if !topo.SameNode(a, b) && ab != TierNetwork {
+				t.Fatalf("devices %d,%d on different nodes classified %v", a, b, ab)
+			}
+		}
+	}
+}
+
+// Property: SlowestLink is invariant under gang permutation — pricing
+// depends on the set of devices, not their order.
+func TestSlowestLinkPermutationProperty(t *testing.T) {
+	topo := DefaultTopology().WithDefaults()
+	gangs := [][]int{
+		{0, 1, 2, 3},
+		{3, 2, 1, 0},
+		{0, 4, 8, 12},
+		{12, 0, 8, 4},
+		{7, 8, 15, 16},
+		{16, 15, 8, 7},
+	}
+	for i := 0; i+1 < len(gangs); i += 2 {
+		a, b := topo.SlowestLink(gangs[i]), topo.SlowestLink(gangs[i+1])
+		if a != b {
+			t.Errorf("SlowestLink(%v)=%q but SlowestLink(%v)=%q", gangs[i], a.Name, gangs[i+1], b.Name)
+		}
+	}
+}

@@ -17,6 +17,25 @@ type Estimate struct {
 	IterTime sim.Duration
 	// Throughput is the matching images/second.
 	Throughput float64
+	// GradientBytes is the per-replica gradient volume a data-parallel
+	// gang exchanges every iteration (the network's parameter bytes).
+	// Zero for estimates taken before the field existed; single-device
+	// jobs never read it.
+	GradientBytes int64
+}
+
+// ForGang scales a per-device estimate to an N-device gang: the gang
+// reserves PeakBytes on each of its devices (every replica holds a
+// full copy of the working set), so the cluster-wide footprint is
+// N x PeakBytes while the per-device admission test is unchanged.
+func (e Estimate) ForGang(n int) Estimate {
+	if n < 1 {
+		n = 1
+	}
+	g := e
+	g.PeakBytes = e.PeakBytes // per-device, by design
+	g.Throughput = e.Throughput * float64(n)
+	return g
 }
 
 // EstimateOf extracts the scheduling estimate from a dry run's Result.

@@ -7,8 +7,8 @@ import (
 
 // CompareSchedulers replays the same job stream on the same cluster
 // under every built-in scheduler policy (FIFO, priority, memory-aware
-// packing) — the multi-tenant counterpart of the single-job framework
-// comparisons above. Policies run in parallel over one shared
+// packing, topology-aware packing) — the multi-tenant counterpart of
+// the single-job framework comparisons above. Policies run in parallel over one shared
 // estimator, so the trace's distinct job shapes are dry-run once for
 // the whole comparison. Results land in sched.Policies() order.
 func CompareSchedulers(c sched.Cluster, jobs []sched.Job) ([]*sched.Result, error) {

@@ -68,11 +68,17 @@ func DryRun(network string, batch int, manager string, d hw.DeviceSpec) (memmgr.
 	if batch <= 0 {
 		return memmgr.Estimate{}, fmt.Errorf("sched: batch must be positive, got %d", batch)
 	}
-	r, err := core.Run(b(batch), core.Config{Manager: manager, Device: d})
+	net := b(batch)
+	r, err := core.Run(net, core.Config{Manager: manager, Device: d})
 	if err != nil {
 		return memmgr.Estimate{}, err
 	}
-	return memmgr.EstimateOf(r), nil
+	est := memmgr.EstimateOf(r)
+	// The gradient volume a data-parallel gang exchanges per iteration
+	// is the replica's parameter bytes; recording it here keeps gang
+	// admission a pure function of the memoized estimate.
+	est.GradientBytes = net.ParamBytes()
+	return est, nil
 }
 
 // estKey embeds the whole DeviceSpec (a comparable struct of

@@ -3,6 +3,7 @@ package sched
 import (
 	"sort"
 
+	"repro/internal/hw"
 	"repro/internal/memmgr"
 	"repro/internal/sim"
 )
@@ -36,6 +37,11 @@ type Policy struct {
 	// Preemptive lets a blocked head evict strictly lower-priority
 	// residents at their next iteration boundary.
 	Preemptive bool
+	// TopoAware prefers gang placements whose members share an NVLink
+	// island, then a node, before accepting a cross-node gang: the
+	// slowest pairwise wire prices the gang's all-reduce, so locality
+	// buys iteration time. Single-device jobs are unaffected.
+	TopoAware bool
 }
 
 func byArrival(a, b Queued) bool { return a.Arrival < b.Arrival }
@@ -62,10 +68,16 @@ var (
 	// that fits is admitted (backfill past a blocked head) onto the
 	// device where it packs tightest.
 	Packing = Policy{Name: "packing", Less: byArrival, Backfill: true, BestFit: true}
+
+	// TopoPacking is Packing plus topology awareness: a gang lands on
+	// the tightest NVLink island that holds it whole, then the
+	// tightest node, and only then spans nodes — trading placement
+	// flexibility for the fast tier's all-reduce.
+	TopoPacking = Policy{Name: "topo", Less: byArrival, Backfill: true, BestFit: true, TopoAware: true}
 )
 
 // Policies lists the built-in policies in comparison order.
-func Policies() []Policy { return []Policy{FIFO, Priority, Packing} }
+func Policies() []Policy { return []Policy{FIFO, Priority, Packing, TopoPacking} }
 
 // PolicyByName resolves a built-in policy.
 func PolicyByName(name string) (Policy, bool) {
@@ -113,21 +125,118 @@ func (p Policy) pickDevice(js *jobState, devs []*device, cap int64) int {
 	return best
 }
 
+// pickGang returns the devices (ascending) to admit the job's gang
+// to, or nil when no placement fits right now. A single-device job
+// reduces exactly to pickDevice; a gang needs GPUs distinct devices
+// that each fit the per-device peak — the all-or-nothing rule.
+func (p Policy) pickGang(js *jobState, devs []*device, cap int64, topo hw.Topology) []int {
+	if js.GPUs <= 1 {
+		if di := p.pickDevice(js, devs, cap); di >= 0 {
+			return []int{di}
+		}
+		return nil
+	}
+	need := js.est.PeakBytes
+	var cands []int
+	for di, d := range devs {
+		if cap-d.used >= need {
+			cands = append(cands, di)
+		}
+	}
+	if len(cands) < js.GPUs {
+		return nil
+	}
+	if p.TopoAware {
+		if topo.NVLinkIsland > 0 {
+			if g := p.pickGrouped(cands, js.GPUs, devs, cap, need, topo.Island); g != nil {
+				return g
+			}
+		}
+		if g := p.pickGrouped(cands, js.GPUs, devs, cap, need, topo.Node); g != nil {
+			return g
+		}
+	}
+	if !p.BestFit {
+		return append([]int(nil), cands[:js.GPUs]...) // first fit
+	}
+	return bestFitGang(cands, js.GPUs, devs, cap, need)
+}
+
+// pickGrouped tries to place the whole gang inside one locality group
+// (an NVLink island or a node, named by key). Among groups with room
+// for the full gang, the one with the fewest candidate devices wins —
+// the tightest group, keeping larger contiguous blocks free for wider
+// gangs — with the lower group key breaking ties. Returns nil when no
+// single group holds the gang.
+func (p Policy) pickGrouped(cands []int, n int, devs []*device, cap, need int64, key func(int) int) []int {
+	type group struct {
+		key     int
+		members []int
+	}
+	var groups []group
+	at := make(map[int]int, 8)
+	for _, di := range cands {
+		k := key(di)
+		g, ok := at[k]
+		if !ok {
+			g = len(groups)
+			at[k] = g
+			groups = append(groups, group{key: k})
+		}
+		groups[g].members = append(groups[g].members, di)
+	}
+	best := -1
+	for g := range groups {
+		if len(groups[g].members) < n {
+			continue
+		}
+		if best == -1 || len(groups[g].members) < len(groups[best].members) ||
+			(len(groups[g].members) == len(groups[best].members) && groups[g].key < groups[best].key) {
+			best = g
+		}
+	}
+	if best == -1 {
+		return nil
+	}
+	m := groups[best].members
+	if !p.BestFit {
+		return append([]int(nil), m[:n]...)
+	}
+	return bestFitGang(m, n, devs, cap, need)
+}
+
+// bestFitGang picks the n candidates with the least leftover memory
+// (ties to the lower device index) and returns them ascending.
+func bestFitGang(cands []int, n int, devs []*device, cap, need int64) []int {
+	picked := append([]int(nil), cands...)
+	sort.SliceStable(picked, func(i, j int) bool {
+		li := cap - devs[picked[i]].used - need
+		lj := cap - devs[picked[j]].used - need
+		if li != lj {
+			return li < lj
+		}
+		return picked[i] < picked[j]
+	})
+	picked = picked[:n]
+	sort.Ints(picked)
+	return picked
+}
+
 // schedule is the admission pass: order the queue, admit what fits
 // (honoring backfill), and let a preemptive policy evict for a
 // blocked head. Invoked at every arrival and iteration boundary.
-func (p Policy) schedule(pending *[]*jobState, devs []*device, cap int64, now sim.Time,
-	admit func(*jobState, int, sim.Time), vacate func(*jobState, sim.Time)) {
+func (p Policy) schedule(pending *[]*jobState, devs []*device, cap int64, topo hw.Topology, now sim.Time,
+	admit func(*jobState, []int, sim.Time), vacate func(*jobState, sim.Time)) {
 	for {
 		q := *pending
 		sort.SliceStable(q, func(i, j int) bool { return p.less(q[i], q[j]) })
 		i := 0
 		for i < len(q) {
 			js := q[i]
-			di := p.pickDevice(js, devs, cap)
-			if di >= 0 {
+			gang := p.pickGang(js, devs, cap, topo)
+			if gang != nil {
 				q = append(q[:i], q[i+1:]...)
-				admit(js, di, now)
+				admit(js, gang, now)
 				continue
 			}
 			if !p.Backfill {
@@ -146,16 +255,47 @@ func (p Policy) schedule(pending *[]*jobState, devs []*device, cap int64, now si
 }
 
 // preempt tries to make room for the blocked head by evicting
-// strictly lower-priority residents: on the first device where the
-// head would fit after evictions, victims are chosen lowest priority
-// first (latest arrival first within a priority). Running victims
-// vacate at their iteration boundary; idle ones immediately. It
-// reports whether any reservation was released right now (in which
-// case the caller re-runs the admission pass).
+// strictly lower-priority residents. It first finds, in index order,
+// as many devices as the head's gang needs where the head would fit
+// after evictions (topology preference does not apply under memory
+// pressure — getting placed beats getting placed well); only when
+// enough exist does it evict, so victims are never spent on a gang
+// that cannot be placed anyway. Per device, victims are chosen lowest
+// priority first (latest trace order first within a priority). A
+// running victim vacates its whole gang at its next iteration
+// boundary; an idle one immediately — and because a gang victim
+// vacates every device it occupies at once, it disappears from later
+// devices' resident lists before they are examined, so it is never
+// evicted twice. Reports whether any reservation was released right
+// now (in which case the caller re-runs the admission pass).
 func (p Policy) preempt(head *jobState, pending *[]*jobState, devs []*device, cap int64,
 	now sim.Time, vacate func(*jobState, sim.Time)) bool {
 	need := head.est.PeakBytes
-	for _, d := range devs {
+	want := head.GPUs
+	if want < 1 {
+		want = 1
+	}
+	var viable []int
+	for di, d := range devs {
+		total := cap - d.used
+		for _, r := range d.resident {
+			if r.Priority < head.Priority {
+				total += r.est.PeakBytes
+			}
+		}
+		if total >= need {
+			viable = append(viable, di)
+			if len(viable) == want {
+				break
+			}
+		}
+	}
+	if len(viable) < want {
+		return false
+	}
+	freedNow := false
+	for _, di := range viable {
+		d := devs[di]
 		var cands []*jobState
 		for _, r := range d.resident {
 			if r.Priority < head.Priority {
@@ -169,14 +309,6 @@ func (p Policy) preempt(head *jobState, pending *[]*jobState, devs []*device, ca
 			return cands[i].seq > cands[j].seq
 		})
 		free := cap - d.used
-		total := free
-		for _, v := range cands {
-			total += v.est.PeakBytes
-		}
-		if total < need {
-			continue
-		}
-		freedNow := false
 		for _, v := range cands {
 			if free >= need {
 				break
@@ -189,14 +321,13 @@ func (p Policy) preempt(head *jobState, pending *[]*jobState, devs []*device, ca
 				v.marked = true
 				continue
 			}
-			// Idle victim: vacate and re-queue immediately.
+			// Idle victim: vacate (the whole gang) and re-queue.
 			v.preempts++
 			vacate(v, now)
 			v.device = -1
 			*pending = append(*pending, v)
 			freedNow = true
 		}
-		return freedNow
 	}
-	return false
+	return freedNow
 }

@@ -3,6 +3,8 @@ package sched
 import (
 	"fmt"
 
+	"repro/internal/dataparallel"
+	"repro/internal/hw"
 	"repro/internal/memmgr"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -114,10 +116,20 @@ type jobState struct {
 	iterTimes []sim.Duration
 	remaining int
 	device    int
-	started   bool
-	start     sim.Time
-	finish    sim.Time
-	preempts  int
+	// gang lists the devices of the current (or last) placement,
+	// ascending; admit assigns a fresh slice, so clones can share the
+	// backing array. Always non-empty while the job is resident; a
+	// single-device job's gang is just {device}.
+	gang []int
+	// gangAR is the total bucketed all-reduce cost per iteration at
+	// the current placement (zero for single-device jobs); the exposed
+	// share is derived per iteration, since dynamic-batch iterations
+	// have different overlap windows.
+	gangAR   sim.Duration
+	started  bool
+	start    sim.Time
+	finish   sim.Time
+	preempts int
 	// marked is set when a preemptive policy has chosen this job as a
 	// victim; it vacates at its next iteration boundary.
 	marked bool
@@ -163,6 +175,10 @@ type exec struct {
 	policy  Policy
 	cap     int64
 	est     *Estimator
+	// topo is the normalized interconnect topology; overlap selects
+	// the gang communication model (see Cluster).
+	topo    hw.Topology
+	overlap bool
 
 	states  []*jobState
 	devs    []*device
@@ -193,7 +209,8 @@ func newExec(c Cluster, p Policy, est *Estimator) (*exec, error) {
 	if est == nil {
 		est = NewEstimator()
 	}
-	e := &exec{cluster: c, policy: p, cap: c.Capacity(), est: est}
+	e := &exec{cluster: c, policy: p, cap: c.Capacity(), est: est,
+		topo: c.Topology.WithDefaults(), overlap: c.Overlap}
 	e.devs = make([]*device, c.Devices)
 	for i := range e.devs {
 		e.devs[i] = &device{}
@@ -209,8 +226,19 @@ func (e *exec) addJob(j Job) (int, error) {
 	if j.Iterations <= 0 {
 		j.Iterations = 1
 	}
+	if j.GPUs <= 0 {
+		j.GPUs = 1
+	}
 	if j.ID == "" {
 		j.ID = fmt.Sprintf("job%d", i)
+	}
+	if j.GPUs > e.cluster.Devices {
+		// A gang wider than the cluster can never be placed; reject up
+		// front like a single job that cannot fit an idle device.
+		e.states = append(e.states, &jobState{Job: j, seq: i,
+			rejReason: fmt.Sprintf("gang needs %d devices, cluster has %d", j.GPUs, e.cluster.Devices)})
+		e.rejCount++
+		return i, nil
 	}
 	batches := []int{j.Batch}
 	if len(j.BatchSchedule) > 0 {
@@ -302,49 +330,70 @@ func (e *exec) fail(err error) {
 }
 
 func (e *exec) schedule(now sim.Time) {
-	e.policy.schedule(&e.pending, e.devs, e.cap, now, e.admit, e.vacate)
+	e.policy.schedule(&e.pending, e.devs, e.cap, e.topo, now, e.admit, e.vacate)
 }
 
-// admit reserves the job's peak on the device and dispatches the
-// engine if idle.
-func (e *exec) admit(js *jobState, di int, now sim.Time) {
-	d := e.devs[di]
-	d.setUsed(now, js.est.PeakBytes)
-	if d.used > e.cap {
-		e.fail(fmt.Errorf("sched: admission overflow on gpu%d: %d > capacity %d (job %s)", di, d.used, e.cap, js.ID))
+// admit reserves the job's per-device peak on every gang member —
+// all-or-nothing, the gang admission rule — prices the gang's
+// all-reduce for this placement, and dispatches the first engine if
+// idle.
+func (e *exec) admit(js *jobState, gang []int, now sim.Time) {
+	for _, di := range gang {
+		d := e.devs[di]
+		d.setUsed(now, js.est.PeakBytes)
+		if d.used > e.cap {
+			e.fail(fmt.Errorf("sched: admission overflow on gpu%d: %d > capacity %d (job %s)", di, d.used, e.cap, js.ID))
+		}
+		d.resident = append(d.resident, js)
 	}
-	d.resident = append(d.resident, js)
-	js.device = di
+	js.gang = gang
+	js.device = gang[0]
+	js.gangAR = 0
+	if len(gang) > 1 {
+		// The collective is priced once per placement: a bucketed ring
+		// all-reduce of the replica gradient across the gang, set by
+		// the slowest pairwise tier (a preempted gang re-priced on
+		// re-admission may land on a different tier).
+		link := e.topo.SlowestLink(gang)
+		js.gangAR = dataparallel.GangAllReduce(link, js.est.GradientBytes, len(gang), dataparallel.DefaultBuckets)
+	}
 	if !js.started {
 		js.started = true
 		js.start = now
 	}
-	e.dispatch(d, di, now)
+	e.dispatch(e.devs[gang[0]], gang[0], now)
 }
 
-// vacate releases the job's reservation and drops it from the
-// device's resident set.
+// vacate releases the job's reservation on every gang member and drops
+// it from their resident sets — a gang always leaves atomically. The
+// gang list is retained for reporting; the next admit overwrites it.
 func (e *exec) vacate(js *jobState, now sim.Time) {
-	d := e.devs[js.device]
-	for i, r := range d.resident {
-		if r == js {
-			d.resident = append(d.resident[:i], d.resident[i+1:]...)
-			if d.rr > i {
-				d.rr--
+	for _, di := range js.gang {
+		d := e.devs[di]
+		for i, r := range d.resident {
+			if r == js {
+				d.resident = append(d.resident[:i], d.resident[i+1:]...)
+				if d.rr > i {
+					d.rr--
+				}
+				break
 			}
-			break
 		}
+		if len(d.resident) > 0 {
+			d.rr %= len(d.resident)
+		} else {
+			d.rr = 0
+		}
+		d.setUsed(now, -js.est.PeakBytes)
 	}
-	if len(d.resident) > 0 {
-		d.rr %= len(d.resident)
-	} else {
-		d.rr = 0
-	}
-	d.setUsed(now, -js.est.PeakBytes)
+	js.gangAR = 0
 }
 
 // dispatch submits the next resident iteration round-robin when the
-// engine is idle.
+// engine is idle. A gang iteration needs every member engine idle at
+// once; a gang whose partners are busy is skipped this round (its
+// members' completions retry it), so single-device work keeps flowing
+// around a waiting gang.
 func (e *exec) dispatch(d *device, di int, now sim.Time) {
 	if d.inflight || len(d.resident) == 0 {
 		return
@@ -352,31 +401,52 @@ func (e *exec) dispatch(d *device, di int, now sim.Time) {
 	n := len(d.resident)
 	for k := 0; k < n; k++ {
 		js := d.resident[(d.rr+k)%n]
-		if js.marked || js.remaining <= 0 {
+		if js.marked || js.remaining <= 0 || js.running {
 			continue
 		}
+		if len(js.gang) > 1 {
+			busy := false
+			for _, g := range js.gang {
+				if e.devs[g].inflight {
+					busy = true
+					break
+				}
+			}
+			if busy {
+				continue
+			}
+		}
 		d.rr = (d.rr + k + 1) % n
-		d.inflight = true
 		js.running = true
 		start := now
-		if d.freeAt > start {
-			start = d.freeAt
+		for _, g := range js.gang {
+			if e.devs[g].freeAt > start {
+				start = e.devs[g].freeAt
+			}
 		}
-		dur := js.iterDur()
+		dur := e.iterDur(js)
 		end := start + sim.Time(dur)
-		d.freeAt = end
-		d.busy += dur
+		for _, g := range js.gang {
+			gd := e.devs[g]
+			gd.inflight = true
+			gd.freeAt = end
+			gd.busy += dur
+		}
 		e.doneSeq++
 		e.q.push(event{at: end, class: classDone, seq: e.doneSeq, job: js.seq, dev: di})
 		return
 	}
 }
 
-// iterDone handles one iteration-completion event.
+// iterDone handles one iteration-completion event; for a gang it is
+// the synchronous barrier at which all member engines free together.
 func (e *exec) iterDone(js *jobState, di int, now sim.Time) {
-	d := e.devs[di]
-	d.inflight = false
-	d.iters++
+	gang := js.gang
+	for _, g := range gang {
+		gd := e.devs[g]
+		gd.inflight = false
+		gd.iters++
+	}
 	js.running = false
 	js.remaining--
 	switch {
@@ -388,7 +458,7 @@ func (e *exec) iterDone(js *jobState, di int, now sim.Time) {
 		e.vacate(js, now)
 	case js.marked:
 		// Preempted at the iteration boundary: keep the completed
-		// iterations, release the reservation, re-queue.
+		// iterations, release the whole gang's reservations, re-queue.
 		js.marked = false
 		js.preempts++
 		e.vacate(js, now)
@@ -396,15 +466,22 @@ func (e *exec) iterDone(js *jobState, di int, now sim.Time) {
 		e.pending = append(e.pending, js)
 	}
 	e.schedule(now)
-	e.dispatch(d, di, now)
+	for _, g := range gang {
+		e.dispatch(e.devs[g], g, now)
+	}
 }
 
 // iterDur returns the duration of the job's next iteration: completed
 // iterations index the batch schedule, cycling past its end (static
-// jobs have a single entry).
-func (js *jobState) iterDur() sim.Duration {
+// jobs have a single entry), plus the exposed share of the gang's
+// all-reduce for the current placement.
+func (e *exec) iterDur(js *jobState) sim.Duration {
 	done := js.Iterations - js.remaining
-	return js.iterTimes[done%len(js.iterTimes)]
+	base := js.iterTimes[done%len(js.iterTimes)]
+	if js.gangAR > 0 {
+		base += dataparallel.ExposedAllReduce(js.gangAR, base, e.overlap)
+	}
+	return base
 }
 
 // clone deep-copies the execution so the copy can be drained to
@@ -415,6 +492,7 @@ func (js *jobState) iterDur() sim.Duration {
 func (e *exec) clone() *exec {
 	c := &exec{
 		cluster: e.cluster, policy: e.policy, cap: e.cap, est: e.est,
+		topo: e.topo, overlap: e.overlap,
 		doneSeq: e.doneSeq, now: e.now, runErr: e.runErr,
 		finCount: e.finCount, rejCount: e.rejCount, sumJCT: e.sumJCT, sumWait: e.sumWait,
 	}
@@ -468,6 +546,9 @@ func (e *exec) jobResult(i int) JobResult {
 		return jr
 	}
 	jr.Device = js.device
+	if len(js.gang) > 1 {
+		jr.Gang = append([]int(nil), js.gang...)
+	}
 	jr.Start = js.start
 	jr.Finish = js.finish
 	jr.Wait = sim.Duration(js.start - js.Arrival)

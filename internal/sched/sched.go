@@ -25,6 +25,14 @@
 //     lower-priority residents at an iteration boundary; the victim
 //     keeps its completed iterations, releases its reservation, and
 //     re-enters the pending queue.
+//   - Gang scheduling. A Job with GPUs=N is a synchronous
+//     data-parallel gang: admission reserves its per-device dry-run
+//     peak on N devices at once or not at all, each iteration occupies
+//     all N engines simultaneously, its duration is the replica
+//     iteration plus the exposed part of a bucketed ring all-reduce
+//     priced by the slowest interconnect tier inside the placed gang
+//     (Cluster.Topology), and preemption releases the whole gang
+//     atomically at an iteration boundary.
 //
 // The whole simulation is a discrete-event loop over a typed
 // (time, class, sequence) event queue (see run.go), so two runs of the
@@ -56,6 +64,14 @@ type Job struct {
 	// never OOM its device mid-run, while each iteration is charged
 	// its own shape's duration.
 	BatchSchedule []int
+	// GPUs is the gang size: the number of devices the job occupies
+	// simultaneously as a synchronous data-parallel gang (0 and 1 both
+	// mean a single device). Batch is the per-GPU batch; admission is
+	// all-or-nothing — the job reserves its per-device dry-run peak on
+	// every gang member or waits — and each iteration adds the exposed
+	// part of a bucketed ring all-reduce priced by the slowest
+	// interconnect tier inside the placed gang.
+	GPUs int
 	// Manager names the internal/memmgr policy the job trains under
 	// ("superneurons", "vdnn", "naive", ...; empty runs the
 	// flag-driven default, the naive baseline).
@@ -76,6 +92,15 @@ type Cluster struct {
 	Device hw.DeviceSpec
 	// Devices is the pool size.
 	Devices int
+	// Topology classifies device pairs into interconnect tiers
+	// (NVLink island / same-node PCIe / cross-node network) for gang
+	// placement and all-reduce pricing. The zero value is one flat
+	// PCIe-peer node — the historical single-tier cluster.
+	Topology hw.Topology
+	// Overlap overlaps each gang's gradient all-reduce with the
+	// backward half of its iteration (the bucketed exchange); when
+	// false gangs serialize compute then communicate.
+	Overlap bool
 }
 
 // Capacity returns the per-device memory capacity.
@@ -91,8 +116,12 @@ type JobResult struct {
 	Rejected bool
 	Reason   string
 
-	// Device is where the job last ran.
+	// Device is where the job last ran (the gang's first device for a
+	// multi-GPU job).
 	Device int
+	// Gang lists the devices of the job's last placement, ascending;
+	// nil for single-device jobs.
+	Gang []int
 	// Start is the first admission; Finish the completion of the last
 	// iteration.
 	Start  sim.Time

@@ -44,14 +44,24 @@ func EncodeSnapshot(inc *Incremental) []byte {
 		int64(d.KernelLaunch), int64(d.CudaMalloc), int64(d.CudaFree), int64(d.PoolOp),
 		fbits(d.EffScale), fbits(d.MemEffScale))
 	fmt.Fprintf(&b, "devices %d\n", e.cluster.Devices)
+	// The topo record is newer than the magic: the decoder treats it as
+	// optional so pre-gang snapshots (no record) still restore, to the
+	// zero topology they were taken under.
+	tp := e.cluster.Topology
+	fmt.Fprintf(&b, "topo %d %d %d %s %s %d %s %s %d %s %s %d\n",
+		tp.DevicesPerNode, tp.NVLinkIsland, b2i(e.cluster.Overlap),
+		qstr(tp.NVLink.Name), fbits(tp.NVLink.BytesPerSec), int64(tp.NVLink.Latency),
+		qstr(tp.PCIe.Name), fbits(tp.PCIe.BytesPerSec), int64(tp.PCIe.Latency),
+		qstr(tp.Network.Name), fbits(tp.Network.BytesPerSec), int64(tp.Network.Latency))
 	fmt.Fprintf(&b, "clock %d %d %d\n", int64(inc.mark), int64(e.now), e.doneSeq)
 	fmt.Fprintf(&b, "agg %d %d %d %d\n", e.finCount, e.rejCount, int64(e.sumJCT), int64(e.sumWait))
 
 	fmt.Fprintf(&b, "jobs %d\n", len(e.states))
 	for i, js := range e.states {
-		fmt.Fprintf(&b, "job %d %s %s %s %d %d %d %d %s\n",
+		fmt.Fprintf(&b, "job %d %s %s %s %d %d %d %d %s %d\n",
 			i, qstr(js.ID), qstr(js.Network), qstr(js.Manager),
-			js.Batch, js.Priority, int64(js.Arrival), js.Iterations, intList(js.BatchSchedule))
+			js.Batch, js.Priority, int64(js.Arrival), js.Iterations, intList(js.BatchSchedule),
+			js.GPUs)
 		fmt.Fprintf(&b, "state %d %s %d %d %s %d %d %d %d %d %d %d %d",
 			i, qstr(js.rejReason),
 			js.est.PeakBytes, int64(js.est.IterTime), fbits(js.est.Throughput),
@@ -61,6 +71,11 @@ func EncodeSnapshot(inc *Incremental) []byte {
 		for _, t := range js.iterTimes {
 			fmt.Fprintf(&b, " %d", int64(t))
 		}
+		// Gang placement and all-reduce price, appended after the
+		// iteration times; the decoder accepts their absence (pre-gang
+		// snapshots). GradientBytes rides along so a restored gang
+		// re-prices identically after a preemption.
+		fmt.Fprintf(&b, " %s %d %d", intList(js.gang), int64(js.gangAR), js.est.GradientBytes)
 		b.WriteByte('\n')
 	}
 
@@ -130,6 +145,18 @@ func RestoreIncremental(data []byte, est *Estimator) (*Incremental, error) {
 
 	f = r.fields("devices", 2)
 	ndev := r.count(f, 1, 1<<16)
+	// Optional topo record: absent in pre-gang snapshots, which were
+	// taken under the zero topology (one flat PCIe-peer node).
+	var topo hw.Topology
+	overlap := false
+	if f := r.fieldsOpt("topo", 13); f != nil {
+		topo.DevicesPerNode = int(r.i64(f[1]))
+		topo.NVLinkIsland = int(r.i64(f[2]))
+		overlap = r.i64(f[3]) != 0
+		topo.NVLink = hw.LinkSpec{Name: r.unquote(f[4]), BytesPerSec: r.f64(f[5]), Latency: sim.Duration(r.i64(f[6]))}
+		topo.PCIe = hw.LinkSpec{Name: r.unquote(f[7]), BytesPerSec: r.f64(f[8]), Latency: sim.Duration(r.i64(f[9]))}
+		topo.Network = hw.LinkSpec{Name: r.unquote(f[10]), BytesPerSec: r.f64(f[11]), Latency: sim.Duration(r.i64(f[12]))}
+	}
 	f = r.fields("clock", 4)
 	if r.err != nil {
 		return nil, r.err
@@ -146,7 +173,7 @@ func RestoreIncremental(data []byte, est *Estimator) (*Incremental, error) {
 	sumJCT := sim.Duration(r.i64(f[3]))
 	sumWait := sim.Duration(r.i64(f[4]))
 
-	ex, err := newExec(Cluster{Device: spec, Devices: ndev}, policy, est)
+	ex, err := newExec(Cluster{Device: spec, Devices: ndev, Topology: topo, Overlap: overlap}, policy, est)
 	if err != nil {
 		if r.err != nil {
 			return nil, r.err
@@ -182,6 +209,10 @@ func RestoreIncremental(data []byte, est *Estimator) (*Incremental, error) {
 		js.Arrival = sim.Time(r.i64(f[7]))
 		js.Iterations = int(r.i64(f[8]))
 		js.BatchSchedule = r.ints(f[9])
+		js.GPUs = 1
+		if len(f) > 10 {
+			js.GPUs = int(r.i64(f[10]))
+		}
 
 		f = r.fields("state", 15)
 		if r.err != nil {
@@ -207,18 +238,29 @@ func RestoreIncremental(data []byte, est *Estimator) (*Incremental, error) {
 			break
 		}
 		rest := r.tail(14 + 1)
-		if len(rest) != nit {
-			return nil, fmt.Errorf("sched: snapshot: job %d: %d iteration times declared, %d present", i, nit, len(rest))
+		// Pre-gang snapshots end the record at the iteration times; new
+		// ones append the gang placement, its all-reduce price, and the
+		// gradient volume.
+		if len(rest) != nit && len(rest) != nit+3 {
+			return nil, fmt.Errorf("sched: snapshot: job %d: %d iteration times declared, %d fields present", i, nit, len(rest))
 		}
-		js.iterTimes = make([]sim.Duration, 0, len(rest))
-		for _, s := range rest {
+		js.iterTimes = make([]sim.Duration, 0, nit)
+		for _, s := range rest[:nit] {
 			js.iterTimes = append(js.iterTimes, sim.Duration(r.i64(s)))
+		}
+		if len(rest) == nit+3 {
+			js.gang = r.ints(rest[nit])
+			js.gangAR = sim.Duration(r.i64(rest[nit+1]))
+			js.est.GradientBytes = r.i64(rest[nit+2])
 		}
 		// Resume safety: these invariants are what the event loop
 		// relies on to never index out of range, so a corrupted
 		// snapshot must fail here, not panic later.
 		if js.Iterations < 1 {
 			return nil, fmt.Errorf("sched: snapshot: job %d has %d iterations", i, js.Iterations)
+		}
+		if js.GPUs < 1 {
+			return nil, fmt.Errorf("sched: snapshot: job %d has gang size %d", i, js.GPUs)
 		}
 		if js.rejReason == "" {
 			if len(js.iterTimes) == 0 {
@@ -229,6 +271,24 @@ func RestoreIncremental(data []byte, est *Estimator) (*Incremental, error) {
 			}
 			if js.device < -1 || js.device >= ndev {
 				return nil, fmt.Errorf("sched: snapshot: job %d on device %d of %d", i, js.device, ndev)
+			}
+			if js.gangAR < 0 {
+				return nil, fmt.Errorf("sched: snapshot: job %d has negative all-reduce price", i)
+			}
+			// Gang members must be valid, strictly ascending device
+			// indices — the event loop indexes devices through them.
+			for k, g := range js.gang {
+				if g < 0 || g >= ndev {
+					return nil, fmt.Errorf("sched: snapshot: job %d gang member %d of %d devices", i, g, ndev)
+				}
+				if k > 0 && g <= js.gang[k-1] {
+					return nil, fmt.Errorf("sched: snapshot: job %d gang not strictly ascending", i)
+				}
+			}
+			// Pre-gang snapshots carry no gang list; a placed job's
+			// placement is its single device.
+			if len(js.gang) == 0 && js.device >= 0 {
+				js.gang = []int{js.device}
 			}
 		}
 		ex.states = append(ex.states, js)
@@ -275,8 +335,15 @@ func RestoreIncremental(data []byte, est *Estimator) (*Incremental, error) {
 			if err != nil {
 				return nil, err
 			}
-			if js.device != i {
-				return nil, fmt.Errorf("sched: snapshot: job %d resident on dev %d but placed on %d", js.seq, i, js.device)
+			in := false
+			for _, g := range js.gang {
+				if g == i {
+					in = true
+					break
+				}
+			}
+			if !in {
+				return nil, fmt.Errorf("sched: snapshot: job %d resident on dev %d but placed on %v", js.seq, i, js.gang)
 			}
 			d.resident = append(d.resident, js)
 		}
@@ -398,6 +465,10 @@ type snapReader struct {
 	err  error
 	line int
 	cur  []string
+	// held is a one-line pushback buffer for optional records
+	// (fieldsOpt); hasHeld gates it so an empty held line round-trips.
+	held    string
+	hasHeld bool
 }
 
 func (r *snapReader) fail(format string, args ...any) {
@@ -410,6 +481,11 @@ func (r *snapReader) fail(format string, args ...any) {
 func (r *snapReader) next() string {
 	if r.err != nil {
 		return ""
+	}
+	if r.hasHeld {
+		r.hasHeld = false
+		r.line++
+		return r.held
 	}
 	if !r.sc.Scan() {
 		if err := r.sc.Err(); err != nil {
@@ -433,6 +509,29 @@ func (r *snapReader) fields(keyword string, min int) []string {
 	f := strings.Fields(line)
 	if len(f) == 0 || f[0] != keyword {
 		r.fail("want %q record, got %q", keyword, line)
+		return nil
+	}
+	if len(f) < min {
+		r.fail("%q record needs %d fields, got %d", keyword, min, len(f))
+		return nil
+	}
+	r.cur = f
+	return f
+}
+
+// fieldsOpt reads the next record if its keyword matches; otherwise
+// the line is pushed back for the next reader and nil is returned. A
+// matching record short of min fields is an error, like fields.
+func (r *snapReader) fieldsOpt(keyword string, min int) []string {
+	line := r.next()
+	if r.err != nil {
+		return nil
+	}
+	f := strings.Fields(line)
+	if len(f) == 0 || f[0] != keyword {
+		r.held = line
+		r.hasHeld = true
+		r.line--
 		return nil
 	}
 	if len(f) < min {

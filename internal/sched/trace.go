@@ -17,6 +17,7 @@ func JobFromTrace(t workload.TraceJob) Job {
 		Priority:      t.Priority,
 		Arrival:       sim.Time(t.ArrivalMS) * sim.Time(sim.Millisecond),
 		Iterations:    t.Iterations,
+		GPUs:          t.GPUs,
 	}
 }
 

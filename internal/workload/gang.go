@@ -1,0 +1,98 @@
+package workload
+
+// The bundled gang-scheduling trace: the multi-node evaluation
+// workload. Everything here is pure arithmetic over fixed seeds — no
+// math/rand, no time — so the trace is a constant: every build, every
+// replay, every CI runner sees the same bytes (the determinism gate
+// replays it twice and compares byte for byte).
+
+// GangClusterDevices is the cluster size GangTrace targets: 32 nodes
+// of 8 devices under hw.DefaultTopology.
+const GangClusterDevices = 256
+
+// gangShape is one of the few distinct job shapes in the gang trace.
+// Keeping the shape count small bounds the scheduler's dry-run work: a
+// thousand-job trace costs a handful of estimator runs.
+type gangShape struct {
+	network string
+	batch   int
+	manager string
+}
+
+// gangShapes are the distinct (network, batch, manager) combinations
+// the trace draws from; weights skew toward the cheap shapes so the
+// cluster stays busy rather than blocked.
+var gangShapes = []gangShape{
+	{"AlexNet", 128, "naive"},
+	{"AlexNet", 256, "superneurons"},
+	{"AlexNet", 64, "naive"},
+	{"AlexNet", 256, "vdnn"},
+	{"ResNet50", 32, "superneurons"},
+	{"ResNet50", 32, "vdnn"},
+	{"VGG16", 32, "caffe"},
+	{"AlexNet", 512, "naive"},
+}
+
+// xorshift64 is the trace's deterministic number stream.
+func xorshift64(s *uint64) uint64 {
+	x := *s
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	*s = x
+	return x
+}
+
+// GangTrace generates the bundled 1000-job gang trace for a
+// GangClusterDevices-device cluster: roughly half the jobs are
+// single-device, the rest gangs of 2, 4 or 8 (an NVLink island or a
+// whole node under the default topology) with a thin tail of 16-wide
+// gangs that must span nodes. Arrivals come in waves so admission
+// always has a queue to pack but the queue stays shallow.
+func GangTrace() []TraceJob {
+	seed := uint64(0x5eed_0f_9a9) ^ 0xa5a5a5a5a5a5a5a5
+	jobs := make([]TraceJob, 0, 1000)
+	for i := 0; i < 1000; i++ {
+		r := xorshift64(&seed)
+		shape := gangShapes[r%uint64(len(gangShapes))]
+		gpus := 1
+		switch d := (r >> 8) % 100; {
+		case d < 50:
+			gpus = 1
+		case d < 70:
+			gpus = 2
+		case d < 85:
+			gpus = 4
+		case d < 95:
+			gpus = 8
+		default:
+			gpus = 16
+		}
+		// Waves of 50 arrivals every 2 simulated seconds, jittered
+		// inside the wave so same-instant ties stay rare.
+		arrival := int64(i/50)*2000 + int64((r>>16)%1000)
+		tj := TraceJob{
+			ID:         jobID(i),
+			ArrivalMS:  arrival,
+			Network:    shape.network,
+			Batch:      shape.batch,
+			Manager:    shape.manager,
+			Priority:   int((r >> 32) % 10),
+			Iterations: 1 + int((r>>40)%6),
+		}
+		// Single-device jobs leave GPUs zero, exactly as ParseTrace
+		// produces them — the trace round-trips through its file format.
+		if gpus > 1 {
+			tj.GPUs = gpus
+		}
+		jobs = append(jobs, tj)
+	}
+	return jobs
+}
+
+// jobID names gang-trace jobs g000..g999 so the trace sorts and diffs
+// cleanly.
+func jobID(i int) string {
+	digits := [3]byte{'0' + byte(i/100%10), '0' + byte(i/10%10), '0' + byte(i%10)}
+	return "g" + string(digits[:])
+}

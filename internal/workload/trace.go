@@ -25,6 +25,10 @@ type TraceJob struct {
 	Manager       string
 	Priority      int
 	Iterations    int
+	// GPUs is the gang size: the number of devices the job occupies
+	// simultaneously as a synchronous data-parallel gang. 0 and 1 both
+	// mean a single device.
+	GPUs int
 }
 
 // ParseTrace reads a whitespace-separated trace: one job per line as
@@ -42,10 +46,19 @@ type TraceJob struct {
 //
 // A manager of "-" means the default (flag-driven) manager. The batch
 // field accepts the compact schedule syntax ("16x2,32,64x3") to
-// declare a dynamic per-iteration batch schedule. Final job IDs must
-// be unique: the scheduler, the serving layer and every per-job report
-// key on them. Every error names the offending line.
+// declare a dynamic per-iteration batch schedule. An optional eighth
+// field "gpus=N" declares a multi-GPU gang of N devices. Final job IDs
+// must be unique: the scheduler, the serving layer and every per-job
+// report key on them. Every error names the offending line.
 func ParseTrace(r io.Reader) ([]TraceJob, error) {
+	return ParseTraceLimit(r, 0)
+}
+
+// ParseTraceLimit is ParseTrace with a gang-size ceiling: a positive
+// maxGPUs rejects any job whose gpus=N exceeds it, naming the line —
+// so a trace replayed onto a known cluster fails at parse time, not
+// after hours of simulation. Zero means no ceiling.
+func ParseTraceLimit(r io.Reader, maxGPUs int) ([]TraceJob, error) {
 	var out []TraceJob
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
@@ -66,8 +79,8 @@ func ParseTrace(r io.Reader) ([]TraceJob, error) {
 			continue
 		}
 		f := strings.Fields(text)
-		if len(f) != 7 {
-			return nil, fmt.Errorf("workload: trace line %d: want 7 fields (id arrival_ms network batch manager priority iterations), got %d", line, len(f))
+		if len(f) != 7 && len(f) != 8 {
+			return nil, fmt.Errorf("workload: trace line %d: want 7 fields (id arrival_ms network batch manager priority iterations [gpus=N]), got %d", line, len(f))
 		}
 		var (
 			tj  TraceJob
@@ -99,6 +112,18 @@ func ParseTrace(r io.Reader) ([]TraceJob, error) {
 		if tj.Iterations, err = strconv.Atoi(f[6]); err != nil || tj.Iterations <= 0 {
 			return nil, fmt.Errorf("workload: trace line %d: bad iterations %q", line, f[6])
 		}
+		if len(f) == 8 {
+			v, ok := strings.CutPrefix(f[7], "gpus=")
+			if !ok {
+				return nil, fmt.Errorf("workload: trace line %d: want gpus=N, got %q", line, f[7])
+			}
+			if tj.GPUs, err = strconv.Atoi(v); err != nil || tj.GPUs < 1 {
+				return nil, fmt.Errorf("workload: trace line %d: bad gang size %q", line, f[7])
+			}
+			if maxGPUs > 0 && tj.GPUs > maxGPUs {
+				return nil, fmt.Errorf("workload: trace line %d: gang needs %d devices, cluster has %d", line, tj.GPUs, maxGPUs)
+			}
+		}
 		out = append(out, tj)
 	}
 	if err := sc.Err(); err != nil {
@@ -124,14 +149,19 @@ func BatchLabel(batch int, sched Schedule) string {
 // FormatJob renders one job as a ParseTrace line (with trailing
 // newline). Incremental writers (the serving layer's request log)
 // append FormatJob lines after a TraceHeader and stay byte-identical
-// with FormatTrace over the same jobs.
+// with FormatTrace over the same jobs. The gpus=N field appears only
+// for gangs, so single-device logs keep their historical bytes.
 func FormatJob(j TraceJob) string {
 	m := j.Manager
 	if m == "" {
 		m = "-"
 	}
-	return fmt.Sprintf("%s %d %s %s %s %d %d\n",
-		j.ID, j.ArrivalMS, j.Network, BatchLabel(j.Batch, j.BatchSchedule), m, j.Priority, j.Iterations)
+	gang := ""
+	if j.GPUs > 1 {
+		gang = fmt.Sprintf(" gpus=%d", j.GPUs)
+	}
+	return fmt.Sprintf("%s %d %s %s %s %d %d%s\n",
+		j.ID, j.ArrivalMS, j.Network, BatchLabel(j.Batch, j.BatchSchedule), m, j.Priority, j.Iterations, gang)
 }
 
 // FormatTrace renders jobs in the ParseTrace format, with a header

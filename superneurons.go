@@ -254,7 +254,20 @@ var (
 	// SchedPacking is memory-aware: backfills past a blocked head
 	// onto the device where the job packs tightest.
 	SchedPacking = sched.Packing
+	// SchedTopoPacking is SchedPacking plus topology awareness: gangs
+	// land on the tightest NVLink island that holds them whole, then
+	// the tightest node, and only then span nodes.
+	SchedTopoPacking = sched.TopoPacking
 )
+
+// Topology classifies a cluster's device pairs into interconnect
+// tiers (NVLink island / same-node PCIe / cross-node network) for
+// gang placement and all-reduce pricing (see Cluster.Topology).
+type Topology = hw.Topology
+
+// DefaultClusterTopology is the DGX-style layout the gang evaluation
+// runs on: nodes of 8 devices, two 4-device NVLink islands per node.
+func DefaultClusterTopology() Topology { return hw.DefaultTopology() }
 
 // SchedulerPolicies lists the built-in policies in comparison order.
 func SchedulerPolicies() []SchedulerPolicy { return sched.Policies() }
@@ -286,6 +299,13 @@ func DefaultClusterTrace() []Job {
 // worst-case shape (snsched -dynamic replays it).
 func DynamicClusterTrace() []Job {
 	return sched.JobsFromTrace(workload.DefaultDynamicTrace())
+}
+
+// GangClusterTrace returns the bundled 1000-job multi-GPU gang trace
+// for a 256-device multi-node cluster (snsched -gang replays it; pair
+// it with DefaultClusterTopology and the topo policy).
+func GangClusterTrace() []Job {
+	return sched.JobsFromTrace(workload.GangTrace())
 }
 
 // CompareSchedulers replays the job stream on the cluster under every
