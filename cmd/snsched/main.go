@@ -16,6 +16,7 @@
 //	snsched -policy packing -devices 4 -device titanxp
 //	snsched -gang                   # bundled 256-device gang trace
 //	snsched -gang -overlap -policy topo
+//	snsched -cotenant -crossjob     # co-tenancy trace under cross-job planning
 //	snsched -dump-trace             # print the bundled trace file
 //
 // Dynamic jobs declare a per-iteration batch schedule in the trace's
@@ -29,6 +30,15 @@
 // topology-aware "topo" policy packs gangs onto the fastest
 // interconnect tier that holds them. -overlap hides each gang's
 // bucketed all-reduce behind the backward pass.
+//
+// -crossjob plans co-resident jobs together per device instead of
+// admitting each against its worst case in isolation: one shared
+// host-side spill pool per device (-spill GiB) parks the persistent
+// floors of waiting tenants, and admission charges the worst single
+// tenant plus the parked floors — strictly more jobs per device, still
+// never an OOM. -cotenant replays the bundled 48-job co-tenancy trace
+// built to show the difference. -log-level emits the structured
+// admission/preemption/spill log on stderr.
 package main
 
 import (
@@ -36,6 +46,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"log/slog"
 	"os"
 	"strings"
 
@@ -50,10 +61,14 @@ type options struct {
 	tracePath string
 	dynamic   bool
 	gang      bool
+	cotenant  bool
+	crossjob  bool
+	spillGiB  int
 	overlap   bool
 	devices   int
 	device    string
 	policyArg string
+	logLevel  string
 }
 
 func main() {
@@ -66,10 +81,14 @@ func main() {
 	flag.StringVar(&o.tracePath, "trace", "", "trace file (default: the bundled multi-tenant trace)")
 	flag.BoolVar(&o.dynamic, "dynamic", false, "replay the bundled dynamic-batch trace instead of the static default")
 	flag.BoolVar(&o.gang, "gang", false, "replay the bundled multi-GPU gang trace on a 256-device multi-node cluster")
+	flag.BoolVar(&o.cotenant, "cotenant", false, "replay the bundled co-tenancy trace (pairs naturally with -crossjob)")
+	flag.BoolVar(&o.crossjob, "crossjob", false, "plan co-resident jobs together per device (interference-aware admission with host-side floor spilling)")
+	flag.IntVar(&o.spillGiB, "spill", 0, "per-device host spill pool in GiB under -crossjob (0 selects the 64 GiB default)")
 	flag.BoolVar(&o.overlap, "overlap", false, "overlap gang all-reduce with backward compute")
 	flag.IntVar(&o.devices, "devices", 0, "number of GPUs in the cluster (default 2, or 256 with -gang)")
 	flag.StringVar(&o.device, "device", "k40c", "device profile: k40c or titanxp")
 	flag.StringVar(&o.policyArg, "policy", "all", "scheduler policy: fifo, priority, packing, topo or all")
+	flag.StringVar(&o.logLevel, "log-level", "", "structured scheduling log on stderr: debug, info, warn or error (default: off)")
 	flag.BoolVar(&dump, "dump-trace", false, "print the bundled trace in the trace-file format and exit")
 	flag.Parse()
 
@@ -77,6 +96,8 @@ func main() {
 		switch {
 		case o.gang:
 			fmt.Print(workload.FormatTrace(workload.GangTrace()))
+		case o.cotenant:
+			fmt.Print(workload.FormatTrace(workload.CoTenantTrace()))
 		case o.dynamic:
 			fmt.Print(workload.FormatTrace(workload.DefaultDynamicTrace()))
 		default:
@@ -94,6 +115,8 @@ func run(o options, w io.Writer) error {
 	switch {
 	case o.gang:
 		trace = workload.GangTrace()
+	case o.cotenant:
+		trace = workload.CoTenantTrace()
 	case o.dynamic:
 		trace = workload.DefaultDynamicTrace()
 	}
@@ -127,11 +150,21 @@ func run(o options, w io.Writer) error {
 	default:
 		return fmt.Errorf("unknown device %q (have k40c, titanxp)", o.device)
 	}
-	cluster := sched.Cluster{Device: dev, Devices: o.devices, Overlap: o.overlap}
+	cluster := sched.Cluster{Device: dev, Devices: o.devices, Overlap: o.overlap,
+		CrossJob: o.crossjob, HostSpillBytes: int64(o.spillGiB) * hw.GiB}
 	if o.gang {
 		cluster.Topology = hw.DefaultTopology()
 	}
 	jobs := sched.JobsFromTrace(trace)
+
+	var lg *slog.Logger
+	if o.logLevel != "" {
+		var level slog.Level
+		if err := level.UnmarshalText([]byte(o.logLevel)); err != nil {
+			return fmt.Errorf("bad -log-level %q (have debug, info, warn, error)", o.logLevel)
+		}
+		lg = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+	}
 
 	var results []*sched.Result
 	if o.policyArg == "all" {
@@ -148,6 +181,7 @@ func run(o options, w io.Writer) error {
 		if err != nil {
 			return err
 		}
+		s.SetLogger(lg)
 		r, err := s.Run(jobs)
 		if err != nil {
 			return err
@@ -188,10 +222,11 @@ func render(w io.Writer, r *sched.Result) {
 	fmt.Fprintln(w, jt.String())
 
 	dt := metrics.NewTable(fmt.Sprintf("policy %s: per-device utilization", r.Policy),
-		"gpu", "busy", "busy%", "peak reserved MiB", "mem util%", "iterations")
+		"gpu", "busy", "busy%", "peak reserved MiB", "mem util%", "residents", "spill MiB", "iterations")
 	for i, d := range r.Devices {
 		dt.Add(fmt.Sprint(i), d.Busy.String(), pct(d.BusyFrac), metrics.MiB(d.PeakReserved),
-			pct(d.MemUtil), fmt.Sprint(d.Iterations))
+			pct(d.MemUtil), fmt.Sprint(d.PeakResidents), metrics.MiB(d.SpillPeak),
+			fmt.Sprint(d.Iterations))
 	}
 	fmt.Fprintln(w, dt.String())
 }

@@ -1,0 +1,76 @@
+// Crossjob: lift admission control from per-job worst cases to a
+// cross-job device plan, and measure what co-tenancy buys.
+//
+// Isolated admission charges every job its worst-case dry-run peak
+// against the device, as if it ran alone — so two 60%-of-device jobs
+// can never share a GPU even though their peaks almost never
+// coincide. Cross-job planning admits the set: each device charges
+// the worst single tenant plus the persistent floors of the others,
+// parking those floors in one shared host-side spill pool. The plan
+// is a pure function of the member demands, so the replay — and its
+// snapshots — stay byte-deterministic.
+//
+// The bundled co-tenancy trace (48 jobs in arrival waves, worst-case
+// peaks interleaving) is built to separate the two modes: same
+// up-front rejections, strictly more co-residents and strictly less
+// queueing under the planner, spill bounded by the pool, and an
+// honest price — spilled floors pay PCIe both ways each iteration,
+// so the makespan stretches slightly while waiting stops.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	superneurons "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	jobs := superneurons.CoTenantClusterTrace()
+	base := superneurons.Cluster{
+		Device:  superneurons.TeslaK40c,
+		Devices: superneurons.CoTenantClusterDevices,
+	}
+	fmt.Printf("cluster: %d x %s (%.2f GiB usable each), %d jobs\n\n",
+		base.Devices, base.Device.Name, float64(base.Capacity())/(1<<30), len(jobs))
+
+	run := func(crossjob bool, p superneurons.SchedulerPolicy) *superneurons.ScheduleResult {
+		c := base
+		c.CrossJob = crossjob
+		c.HostSpillBytes = 8 << 30 // a modest pool: exhaustion is part of the demo
+		s, err := superneurons.NewScheduler(c, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r, err := s.Run(jobs)
+		if err != nil {
+			log.Fatalf("%s crossjob=%v: %v", p.Name, crossjob, err)
+		}
+		return r
+	}
+
+	for _, p := range []superneurons.SchedulerPolicy{superneurons.SchedFIFO, superneurons.SchedPacking} {
+		iso, cj := run(false, p), run(true, p)
+		isoRes, cjRes, spill := 0, 0, int64(0)
+		for di := range iso.Devices {
+			isoRes += iso.Devices[di].PeakResidents
+			cjRes += cj.Devices[di].PeakResidents
+			if s := cj.Devices[di].SpillPeak; s > spill {
+				spill = s
+			}
+		}
+		fmt.Printf("policy %s:\n", p.Name)
+		fmt.Printf("  peak co-residents  %3d -> %3d   (isolated -> cross-job)\n", isoRes, cjRes)
+		fmt.Printf("  mean wait          %12v -> %v\n", iso.MeanWait(), cj.MeanWait())
+		fmt.Printf("  makespan           %12v -> %v   (spilled floors pay PCIe each iteration)\n",
+			iso.Makespan, cj.Makespan)
+		fmt.Printf("  spill pool peak    %8.2f MiB of %.0f MiB per device\n\n",
+			float64(spill)/(1<<20), float64(8<<30)/(1<<20))
+	}
+
+	fmt.Println("same jobs, same devices: the planner packs what isolated")
+	fmt.Println("admission serializes, and the never-OOM guarantee holds —")
+	fmt.Println("any reservation overflow would have failed the run above.")
+}

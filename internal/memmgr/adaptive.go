@@ -17,6 +17,7 @@ package memmgr
 // decisions — determinism is load-bearing for admission control.
 
 import (
+	"repro/internal/memplan"
 	"repro/internal/recompute"
 	"repro/internal/sim"
 	"repro/internal/utp"
@@ -135,6 +136,13 @@ type Adaptive struct {
 	calm     int
 	cooldown int
 	replans  int
+
+	// planner/job attach this instance to a device-level planner
+	// (Join): the Adaptive stops tuning knobs blindly and becomes a
+	// client — it reports measured peaks upward and honors the
+	// planner's Directive as a floor on its ladder level.
+	planner *memplan.Planner
+	job     string
 }
 
 // adaptMaxLevel indexes the widest plan on the ladder.
@@ -201,10 +209,45 @@ func (a *Adaptive) apply(level int) Config {
 	return cfg
 }
 
+// Join attaches this per-job planner to a device-level planner as a
+// client under the given job ID. From then on Observe (a) forwards the
+// measured pool peak to the device planner, whose plan covers every
+// co-tenant, and (b) treats the planner's Directive as a lower bound on
+// the ladder level: device-wide pressure can force this job into wider
+// offload or recomputation even when its own signals are calm, which is
+// exactly the global offload ordering a per-job view cannot see.
+func (a *Adaptive) Join(p *memplan.Planner, job string) {
+	a.planner = p
+	a.job = job
+}
+
+// directiveFloor is the device planner's minimum ladder level for this
+// job (0 when unattached).
+func (a *Adaptive) directiveFloor() int {
+	if a.planner == nil {
+		return 0
+	}
+	return a.planner.Directive(a.job)
+}
+
 // Observe feeds one iteration's signals into the planner and reports
 // whether the plan for the next iteration changed (the caller must
 // then Rebind with the revised Config).
 func (a *Adaptive) Observe(s Signals) bool {
+	if a.planner != nil {
+		// Report the measured peak upward first so the directive below
+		// reflects this iteration. Spill traffic is unknown here (-1
+		// leaves the admission-time figure standing). The job is a
+		// planner member whenever Join was called by the admission
+		// path; a missing membership means the caller wired the planner
+		// by hand, and the observation is simply dropped.
+		_, _ = a.planner.Observe(a.job, s.PoolPeak, -1)
+		if f := a.directiveFloor(); f > a.level {
+			a.calm = 0
+			a.cooldown = adaptCalmRun
+			return a.moveTo(f)
+		}
+	}
 	escalate := s.OOM ||
 		s.HeadroomFrac() < adaptEscalateHeadroom ||
 		s.StallFrac() > adaptEscalateStall ||
@@ -239,7 +282,12 @@ func (a *Adaptive) Observe(s Signals) bool {
 	}
 	a.calm = 0
 	a.cooldown = adaptCalmRun
-	return a.moveTo(a.narrower())
+	target := a.narrower()
+	if f := a.directiveFloor(); target < f {
+		// Never narrow below the device planner's directive.
+		target = f
+	}
+	return a.moveTo(target)
 }
 
 // planKnobs is the comparable slice of Config the ladder owns.

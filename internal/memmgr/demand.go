@@ -1,0 +1,134 @@
+package memmgr
+
+// Demand extraction: the bridge from a job's program to the device
+// planner's tensor-granularity protocol. A per-job Adaptive used to
+// tune knobs blindly; under co-tenancy it becomes a CLIENT of
+// internal/memplan, and this file builds what it submits — the job's
+// largest shareable functional shapes with byte width and next-use
+// distance, plus the scalar demand (peak, floor, spill traffic) from
+// the dry-run estimate.
+
+import (
+	"sort"
+
+	"repro/internal/memplan"
+	"repro/internal/program"
+	"repro/internal/tcache"
+	"repro/internal/tensor"
+)
+
+// shareableKind reports whether a tensor's slab is content-free between
+// iterations and therefore a cross-job sharing candidate: functional
+// tensors only. Persistent state (parameters, parameter gradients,
+// auxiliary buffers) carries values across iterations and is exactly
+// the floor — never shareable.
+func shareableKind(k tensor.Kind) bool {
+	switch k {
+	case tensor.Data, tensor.Grad, tensor.Workspace:
+		return true
+	}
+	return false
+}
+
+// TensorDemands extracts a program's topK largest shareable functional
+// shapes as device-planner demand entries. Each distinct shape is
+// declared once — within one job, same-shape tensors can be live
+// concurrently and are NOT interchangeable, so only a single instance
+// per shape is offered for cross-job lifting (the conservative side of
+// the sharing model). NextUse is the shape's widest producer-to-last-
+// reader step distance: shapes idle for longer stretches are the better
+// lending candidates, and the planner's escalation order consults it.
+// The result is sorted largest-first (ties by key) so truncation and
+// replay are deterministic.
+func TensorDemands(p *program.Program, topK int) []memplan.TensorDemand {
+	if p == nil || topK <= 0 {
+		return nil
+	}
+	firstStep := make(map[int]int)
+	lastStep := make(map[int]int)
+	touch := func(t *tensor.Tensor, si int) {
+		if !shareableKind(t.Kind) {
+			return
+		}
+		if _, ok := firstStep[t.ID]; !ok {
+			firstStep[t.ID] = si
+		}
+		lastStep[t.ID] = si
+	}
+	for si := range p.Steps {
+		for _, t := range p.Steps[si].Reads {
+			touch(t, si)
+		}
+		for _, t := range p.Steps[si].Writes {
+			touch(t, si)
+		}
+	}
+
+	type agg struct {
+		bytes   int64
+		width   int
+		nextUse int
+	}
+	byKey := make(map[uint64]agg)
+	for _, t := range p.Reg.All() {
+		if !shareableKind(t.Kind) {
+			continue
+		}
+		if _, ok := firstStep[t.ID]; !ok {
+			continue // never touched by a step (e.g. recompute-dropped)
+		}
+		key := tcache.ShapeKey(t.Shape.N, t.Shape.C, t.Shape.H, t.Shape.W, tensor.ElemSize)
+		span := lastStep[t.ID] - firstStep[t.ID]
+		a, ok := byKey[key]
+		if !ok {
+			a = agg{bytes: t.Bytes(), width: tensor.ElemSize}
+		}
+		if span > a.nextUse {
+			a.nextUse = span
+		}
+		byKey[key] = a
+	}
+
+	out := make([]memplan.TensorDemand, 0, len(byKey))
+	for key, a := range byKey {
+		out = append(out, memplan.TensorDemand{Key: key, Bytes: a.bytes, Width: a.width, NextUse: a.nextUse})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Bytes != out[j].Bytes {
+			return out[i].Bytes > out[j].Bytes
+		}
+		return out[i].Key < out[j].Key
+	})
+	if len(out) > topK {
+		out = out[:topK]
+	}
+	return out
+}
+
+// DemandFor assembles the full device-planner demand for one job from
+// its dry-run estimate and program. The shareable tensor list is
+// clamped to the estimate's functional budget (peak minus floor): shape
+// sizes come from the program while the peak is a measured pool
+// high-water mark, and the planner refuses demands whose declared
+// shareable bytes exceed what the job can actually have resident.
+func DemandFor(job string, est Estimate, p *program.Program, topK int) memplan.Demand {
+	d := memplan.Demand{
+		Job:        job,
+		PeakBytes:  est.PeakBytes,
+		FloorBytes: est.FloorBytes,
+		SpillBytes: est.SpillBytes,
+		IterTime:   est.IterTime,
+	}
+	if d.FloorBytes > d.PeakBytes {
+		d.FloorBytes = d.PeakBytes
+	}
+	budget := d.PeakBytes - d.FloorBytes
+	for _, td := range TensorDemands(p, topK) {
+		if td.Bytes > budget {
+			continue
+		}
+		d.Tensors = append(d.Tensors, td)
+		budget -= td.Bytes
+	}
+	return d
+}

@@ -1,0 +1,143 @@
+package memmgr
+
+import (
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/memplan"
+	"repro/internal/nnet"
+	"repro/internal/program"
+	"repro/internal/tensor"
+)
+
+func TestTensorDemandsShareableShapesOnly(t *testing.T) {
+	p := program.Build(nnet.AlexNet(8))
+	ds := TensorDemands(p, 8)
+	if len(ds) == 0 {
+		t.Fatal("AlexNet program yields no shareable shapes")
+	}
+	if len(ds) > 8 {
+		t.Fatalf("topK not honored: %d entries", len(ds))
+	}
+	seen := make(map[uint64]bool)
+	for i, d := range ds {
+		if d.Bytes <= 0 || d.Width != tensor.ElemSize {
+			t.Fatalf("entry %d malformed: %+v", i, d)
+		}
+		if seen[d.Key] {
+			t.Fatalf("duplicate shape key %#x", d.Key)
+		}
+		seen[d.Key] = true
+		if i > 0 && ds[i-1].Bytes < d.Bytes {
+			t.Fatalf("entries not sorted largest-first at %d", i)
+		}
+	}
+	// Deterministic extraction: a rebuilt program yields identical
+	// demands (the planner's replay identity starts here).
+	ds2 := TensorDemands(program.Build(nnet.AlexNet(8)), 8)
+	if len(ds2) != len(ds) {
+		t.Fatalf("re-extraction changed length: %d vs %d", len(ds2), len(ds))
+	}
+	for i := range ds {
+		if ds[i] != ds2[i] {
+			t.Fatalf("entry %d differs across extractions: %+v vs %+v", i, ds[i], ds2[i])
+		}
+	}
+	if got := TensorDemands(nil, 8); got != nil {
+		t.Fatal("nil program should yield nil")
+	}
+	if got := TensorDemands(p, 0); got != nil {
+		t.Fatal("topK=0 should yield nil")
+	}
+}
+
+func TestDemandForClampsToFunctionalBudget(t *testing.T) {
+	p := program.Build(nnet.AlexNet(8))
+	est := Estimate{PeakBytes: 1 << 30, FloorBytes: 1 << 29}
+	d := DemandFor("job-a", est, p, 16)
+	if d.Job != "job-a" || d.PeakBytes != est.PeakBytes || d.FloorBytes != est.FloorBytes {
+		t.Fatalf("scalar demand mismatch: %+v", d)
+	}
+	var tb int64
+	for _, td := range d.Tensors {
+		tb += td.Bytes
+	}
+	if tb > est.PeakBytes-est.FloorBytes {
+		t.Fatalf("shareable bytes %d exceed the functional budget %d", tb, est.PeakBytes-est.FloorBytes)
+	}
+	// A floor above the peak clamps rather than yielding a negative
+	// budget.
+	d = DemandFor("job-b", Estimate{PeakBytes: 100, FloorBytes: 200}, p, 4)
+	if d.FloorBytes != d.PeakBytes || len(d.Tensors) != 0 {
+		t.Fatalf("floor>peak not clamped: %+v", d)
+	}
+}
+
+func TestEstimateOfCarriesFloorAndSpill(t *testing.T) {
+	r := &Result{PoolPeak: 1000, PersistentBytes: 300, OffloadBytes: 40, PrefetchBytes: 25}
+	e := EstimateOf(r)
+	if e.FloorBytes != 300 {
+		t.Fatalf("floor %d, want 300", e.FloorBytes)
+	}
+	if e.SpillBytes != r.TotalTraffic() {
+		t.Fatalf("spill %d, want %d", e.SpillBytes, r.TotalTraffic())
+	}
+	// Degenerate results cannot produce floor > peak.
+	e = EstimateOf(&Result{PoolPeak: 100, PersistentBytes: 500})
+	if e.FloorBytes != 100 {
+		t.Fatalf("floor %d not clamped to peak", e.FloorBytes)
+	}
+}
+
+func TestAdaptiveHonorsPlannerDirective(t *testing.T) {
+	const gib = int64(1) << 30
+	pl, err := memplan.New(12*gib, 16*gib, hw.PCIePinned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Load the device until the plan is under pressure: five tenants
+	// with 3 GiB floors force spills and drive headroom to zero.
+	for _, j := range []string{"a", "b", "c", "d", "e"} {
+		if _, err := pl.Admit(memplan.Demand{Job: j, PeakBytes: 6 * gib, FloorBytes: 3 * gib}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if pl.Directive("a") == memplan.DirectiveNone {
+		t.Fatal("test premise: device should be under pressure")
+	}
+
+	a := NewAdaptive(Config{Device: hw.TeslaK40c})
+	if a.Level() != 0 {
+		t.Fatalf("base level %d, want 0", a.Level())
+	}
+	a.Join(pl, "a")
+	// A perfectly calm iteration: without the planner this would never
+	// escalate; the directive floor must force the level up anyway.
+	calm := Signals{
+		Iteration: 0, Batch: 8, NextBatch: 8,
+		IterTime: 100, StallTime: 0,
+		PoolPeak: 1 * gib, PoolBytes: 12 * gib,
+	}
+	if !a.Observe(calm) {
+		t.Fatal("directive floor should have forced a replan")
+	}
+	if a.Level() < pl.Directive("a") {
+		t.Fatalf("level %d below directive %d", a.Level(), pl.Directive("a"))
+	}
+	// Sustained calm must not narrow below the directive either.
+	lvl := a.Level()
+	for i := 1; i <= 8; i++ {
+		s := calm
+		s.Iteration = i
+		a.Observe(s)
+		if a.Level() < pl.Directive("a") {
+			t.Fatalf("iteration %d narrowed to %d below directive %d", i, a.Level(), pl.Directive("a"))
+		}
+	}
+	_ = lvl
+	// Unattached planners keep the old behavior.
+	b := NewAdaptive(Config{Device: hw.TeslaK40c})
+	if b.Observe(calm) {
+		t.Fatal("unattached adaptive escalated on a calm iteration")
+	}
+}

@@ -22,6 +22,17 @@ type Estimate struct {
 	// Zero for estimates taken before the field existed; single-device
 	// jobs never read it.
 	GradientBytes int64
+
+	// FloorBytes is the persistent residue (parameters, parameter
+	// gradients, auxiliary state) a job pins even between iterations —
+	// what a parked co-tenant costs on a shared device. Zero for
+	// estimates taken before the field existed, which the device
+	// planner treats as floor == peak (worst-case-in-isolation).
+	FloorBytes int64
+	// SpillBytes is the job's own per-iteration offload+prefetch
+	// traffic under its solo plan: its standing claim on the host link
+	// that co-tenant spill planning must budget around.
+	SpillBytes int64
 }
 
 // ForGang scales a per-device estimate to an N-device gang: the gang
@@ -40,5 +51,15 @@ func (e Estimate) ForGang(n int) Estimate {
 
 // EstimateOf extracts the scheduling estimate from a dry run's Result.
 func EstimateOf(r *Result) Estimate {
-	return Estimate{PeakBytes: r.PoolPeak, IterTime: r.IterTime, Throughput: r.Throughput}
+	floor := r.PersistentBytes
+	if floor > r.PoolPeak {
+		floor = r.PoolPeak
+	}
+	return Estimate{
+		PeakBytes:  r.PoolPeak,
+		IterTime:   r.IterTime,
+		Throughput: r.Throughput,
+		FloorBytes: floor,
+		SpillBytes: r.TotalTraffic(),
+	}
 }

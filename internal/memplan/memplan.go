@@ -1,0 +1,473 @@
+// Package memplan is the device-level memory planner for co-resident
+// training jobs: the lift of per-job adaptive planning (memmgr.Adaptive)
+// to tensor-granularity planning ACROSS jobs, the scenario TENSILE
+// targets. Where admission-by-isolation reserves every job's solo peak
+// for its whole residency (sum-of-isolated-peaks), the planner exploits
+// two structural facts of a shared device:
+//
+//  1. The compute engine is serial: co-tenant iterations interleave one
+//     at a time, and a job's functional tensors (activations, gradients,
+//     workspaces) are freed at its iteration epilogue. Between its
+//     iterations a job only pins its persistent floor (parameters,
+//     parameter gradients, auxiliary state). So the device never needs
+//     Σ peaks — it needs the worst case over the running job of
+//     (that job's peak + the parked co-tenants' floors).
+//
+//  2. Functional tensor slabs are content-free between uses: a shape
+//     two co-tenants both declare (identical workspace or activation
+//     shapes, keyed shape+dtype via tcache.ShapeKey) needs ONE shared
+//     reservation, not one per job — the running job is the only one
+//     with the shape materialized.
+//
+// Beyond that, each device owns one shared host-side spill pool: when
+// even the floors do not fit, parked jobs' floors are spilled to the
+// host in a single global order (largest floor first, ties by job ID),
+// and each spilled job pays a per-iteration swap penalty of one
+// round-trip of its floor over the host link — the AccUDNN economics:
+// strictly more co-tenants admitted, each iteration possibly slower.
+//
+// Every planner decision is a pure function of the member demand SET
+// (members are folded in job-ID order, not insertion order), so a
+// snapshot-restored planner that re-admits the same members reproduces
+// the same grants bit for bit, and two replays of the same trace make
+// identical decisions at any co-tenancy level — determinism is
+// load-bearing for the never-OOM admission guarantee.
+package memplan
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/hw"
+	"repro/internal/sim"
+	"repro/internal/tcache"
+)
+
+// TensorDemand is one tensor-granularity demand entry: a shareable
+// functional shape the job materializes every iteration.
+type TensorDemand struct {
+	// Key identifies shape+dtype (tcache.ShapeKey); equal keys mean
+	// interchangeable reservations of equal Bytes.
+	Key   uint64
+	Bytes int64
+	// Width is the element byte width (mixed-precision tensors with
+	// distinct widths never share a slab; the key covers it).
+	Width int
+	// NextUse is the reuse distance in program steps — how soon after
+	// materialization the shape is read again. Larger distances make
+	// better lending candidates; the planner's escalation order
+	// consults it.
+	NextUse int
+}
+
+// Demand is one job's declared memory demand on a device, extracted
+// from the deterministic dry run that also prices admission.
+type Demand struct {
+	// Job names the tenant; unique on a device.
+	Job string
+	// PeakBytes is the solo running peak (dry-run exact, includes the
+	// floor); FloorBytes the incompressible between-iteration residue
+	// (persistent state).
+	PeakBytes  int64
+	FloorBytes int64
+	// SpillBytes is the job's own per-iteration offload+prefetch
+	// traffic under its solo plan — its standing claim on the host
+	// link.
+	SpillBytes int64
+	// IterTime is the solo iteration duration.
+	IterTime sim.Duration
+	// Tensors lists the job's largest shareable functional shapes.
+	Tensors []TensorDemand
+}
+
+// Grant is the planner's answer to one member's demand under the
+// current co-tenancy.
+type Grant struct {
+	// SpilledBytes is how much of the job's floor is parked in the
+	// device's host-side spill pool while the job is between
+	// iterations (0 = fully resident).
+	SpilledBytes int64
+	// SwapPenalty is the per-iteration cost of the spill: one
+	// round-trip of the spilled bytes over the host link.
+	SwapPenalty sim.Duration
+	// SharedBytes is how much of the job's peak rides on reservations
+	// shared with co-tenants (lifted into the device-wide slab charge).
+	SharedBytes int64
+}
+
+// Ladder levels the planner may direct its clients toward; they mirror
+// memmgr.Adaptive's plan-aggressiveness ladder.
+const (
+	// DirectiveNone leaves the client's own plan alone.
+	DirectiveNone = 0
+	// DirectiveOffload asks the client to run at least the
+	// offload+prefetch level.
+	DirectiveOffload = 2
+	// DirectiveRecompute asks for the widest plan including
+	// recomputation.
+	DirectiveRecompute = 3
+)
+
+// Planner owns one device's co-tenancy plan: the member demands, the
+// shared-slab accounting, the spill-pool allocation and the derived
+// reservation requirement.
+type Planner struct {
+	cap      int64
+	spillCap int64
+	link     hw.LinkSpec
+
+	members []Demand // maintained sorted by Job ascending
+	state   planState
+}
+
+// planState is the derived plan for one member set.
+type planState struct {
+	requirement int64
+	spillUsed   int64
+	slabBytes   int64
+	sharedSaved int64
+	stats       tcache.SharedStats
+	grants      map[string]Grant
+	feasible    bool
+}
+
+// New returns a planner for a device with the given GPU capacity, host
+// spill-pool capacity, and host link.
+func New(capBytes, spillBytes int64, link hw.LinkSpec) (*Planner, error) {
+	if capBytes <= 0 {
+		return nil, fmt.Errorf("memplan: device capacity must be positive, got %d", capBytes)
+	}
+	if spillBytes < 0 {
+		return nil, fmt.Errorf("memplan: spill pool capacity must be non-negative, got %d", spillBytes)
+	}
+	if link.BytesPerSec <= 0 {
+		link = hw.PCIePinned
+	}
+	p := &Planner{cap: capBytes, spillCap: spillBytes, link: link}
+	p.state = plan(nil, capBytes, spillBytes, link)
+	return p, nil
+}
+
+// plan derives the co-tenancy plan for a member demand set. It is a
+// pure function: members are folded in job-ID order regardless of how
+// the slice is ordered, so the same set always yields the same plan.
+func plan(members []Demand, capBytes, spillCap int64, link hw.LinkSpec) planState {
+	st := planState{grants: make(map[string]Grant, len(members)), feasible: true}
+	if len(members) == 0 {
+		return st
+	}
+	ordered := append([]Demand(nil), members...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Job < ordered[j].Job })
+
+	// Pass 1: cross-job shared reservations. Every member acquires its
+	// shareable shapes in the registry; shapes held by ≥2 tenants are
+	// lifted out of each holder's peak into one device-wide slab
+	// charge.
+	reg := tcache.NewShared()
+	for _, m := range ordered {
+		for _, td := range m.Tensors {
+			// Acquire cannot fail here: keys come from ShapeKey so
+			// bytes are consistent per key, and demands are validated
+			// on entry.
+			_, _ = reg.Acquire(td.Key, td.Bytes)
+		}
+	}
+	effPeak := make([]int64, len(ordered))
+	sharedOf := make([]int64, len(ordered))
+	slabSeen := make(map[uint64]bool)
+	for i, m := range ordered {
+		var lifted int64
+		for _, td := range m.Tensors {
+			if reg.Refs(td.Key) >= 2 {
+				lifted += td.Bytes
+				if !slabSeen[td.Key] {
+					slabSeen[td.Key] = true
+					st.slabBytes += td.Bytes
+				}
+			}
+		}
+		ep := m.PeakBytes - lifted
+		if ep < m.FloorBytes {
+			ep = m.FloorBytes
+		}
+		effPeak[i] = ep
+		sharedOf[i] = lifted
+	}
+	st.sharedSaved = reg.SavedBytes()
+	st.stats = reg.Stats()
+
+	// Pass 2: spill selection. Start with every floor resident;
+	// requirement R = slab + max_j (effPeak_j + Σ floors of the OTHER
+	// resident members). While R exceeds capacity, spill the resident
+	// member with the largest floor (ties to the lower job ID) into
+	// the host pool, which removes its floor from every other member's
+	// term at the price of a per-iteration swap round-trip.
+	spilled := make([]bool, len(ordered))
+	requirement := func() int64 {
+		var floors int64
+		for i, m := range ordered {
+			if !spilled[i] {
+				floors += m.FloorBytes
+			}
+		}
+		var worst int64
+		for i, m := range ordered {
+			term := effPeak[i] + floors
+			if !spilled[i] {
+				term -= m.FloorBytes
+			}
+			if term > worst {
+				worst = term
+			}
+		}
+		return st.slabBytes + worst
+	}
+	r := requirement()
+	for r > capBytes {
+		victim := -1
+		for i, m := range ordered {
+			if spilled[i] || m.FloorBytes <= 0 {
+				continue
+			}
+			if st.spillUsed+m.FloorBytes > spillCap {
+				continue
+			}
+			if victim == -1 || m.FloorBytes > ordered[victim].FloorBytes {
+				victim = i
+			}
+		}
+		if victim == -1 {
+			break
+		}
+		spilled[victim] = true
+		st.spillUsed += ordered[victim].FloorBytes
+		r = requirement()
+	}
+	st.requirement = r
+	st.feasible = r <= capBytes
+
+	for i, m := range ordered {
+		g := Grant{SharedBytes: sharedOf[i]}
+		if spilled[i] {
+			g.SpilledBytes = m.FloorBytes
+			g.SwapPenalty = 2 * link.TransferTime(m.FloorBytes)
+		}
+		st.grants[m.Job] = g
+	}
+	return st
+}
+
+// validate rejects malformed demands before they can corrupt the plan.
+func validate(d Demand) error {
+	if d.Job == "" {
+		return fmt.Errorf("memplan: demand without a job id")
+	}
+	if d.PeakBytes <= 0 {
+		return fmt.Errorf("memplan: job %s: peak must be positive, got %d", d.Job, d.PeakBytes)
+	}
+	if d.FloorBytes < 0 || d.FloorBytes > d.PeakBytes {
+		return fmt.Errorf("memplan: job %s: floor %d outside [0, peak %d]", d.Job, d.FloorBytes, d.PeakBytes)
+	}
+	if d.SpillBytes < 0 {
+		return fmt.Errorf("memplan: job %s: negative spill traffic %d", d.Job, d.SpillBytes)
+	}
+	var tb int64
+	for _, td := range d.Tensors {
+		if td.Bytes <= 0 {
+			return fmt.Errorf("memplan: job %s: tensor demand of %d bytes", d.Job, td.Bytes)
+		}
+		tb += td.Bytes
+	}
+	if tb > d.PeakBytes {
+		return fmt.Errorf("memplan: job %s: shareable tensors (%d bytes) exceed the peak (%d)", d.Job, tb, d.PeakBytes)
+	}
+	return nil
+}
+
+// find returns the member index of job, or -1.
+func (p *Planner) find(job string) int {
+	for i := range p.members {
+		if p.members[i].Job == job {
+			return i
+		}
+	}
+	return -1
+}
+
+// Headroom reports the device capacity left after hypothetically
+// admitting d alongside the current members, and whether the combined
+// plan is feasible at all. It never mutates the plan. A negative
+// headroom is never returned: ok=false covers infeasibility.
+func (p *Planner) Headroom(d Demand) (int64, bool) {
+	if err := validate(d); err != nil {
+		return 0, false
+	}
+	if p.find(d.Job) >= 0 {
+		return 0, false
+	}
+	st := plan(append(append([]Demand(nil), p.members...), d), p.cap, p.spillCap, p.link)
+	if !st.feasible {
+		return 0, false
+	}
+	return p.cap - st.requirement, true
+}
+
+// HeadroomWithout is Headroom with some members hypothetically evicted
+// — the preemption-viability probe: would d fit if every member the
+// exclude predicate names were vacated?
+func (p *Planner) HeadroomWithout(exclude func(job string) bool, d Demand) (int64, bool) {
+	if err := validate(d); err != nil {
+		return 0, false
+	}
+	kept := make([]Demand, 0, len(p.members)+1)
+	for _, m := range p.members {
+		if m.Job != d.Job && !exclude(m.Job) {
+			kept = append(kept, m)
+		}
+	}
+	st := plan(append(kept, d), p.cap, p.spillCap, p.link)
+	if !st.feasible {
+		return 0, false
+	}
+	return p.cap - st.requirement, true
+}
+
+// Admit adds d to the member set and replans. It fails — leaving the
+// plan untouched — when the combined set cannot fit even with the
+// spill pool: admission control must have probed Headroom first, so a
+// failure here is a caller bug surfacing, not a scheduling outcome.
+func (p *Planner) Admit(d Demand) (Grant, error) {
+	if err := validate(d); err != nil {
+		return Grant{}, err
+	}
+	if p.find(d.Job) >= 0 {
+		return Grant{}, fmt.Errorf("memplan: job %s already admitted", d.Job)
+	}
+	next := append(append([]Demand(nil), p.members...), d)
+	st := plan(next, p.cap, p.spillCap, p.link)
+	if !st.feasible {
+		return Grant{}, fmt.Errorf("memplan: job %s does not fit: requirement %d exceeds capacity %d (spill pool %d/%d)",
+			d.Job, st.requirement, p.cap, st.spillUsed, p.spillCap)
+	}
+	p.members = next
+	sort.Slice(p.members, func(i, j int) bool { return p.members[i].Job < p.members[j].Job })
+	p.state = st
+	return st.grants[d.Job], nil
+}
+
+// Release removes a member and replans.
+func (p *Planner) Release(job string) error {
+	i := p.find(job)
+	if i < 0 {
+		return fmt.Errorf("memplan: release of unknown job %s", job)
+	}
+	p.members = append(p.members[:i], p.members[i+1:]...)
+	p.state = plan(p.members, p.cap, p.spillCap, p.link)
+	return nil
+}
+
+// Observe updates a member's measured demand (peak and spill traffic
+// from a completed iteration) and replans; it reports whether the
+// member's grant changed. Measured peaks come from the deterministic
+// virtual-time simulation, so observation never breaks replay
+// identity. Unlike Admit, Observe tolerates an infeasible replan — a
+// running co-tenancy cannot be un-admitted here; the pressure shows up
+// in Directive instead.
+func (p *Planner) Observe(job string, peakBytes, spillBytes int64) (bool, error) {
+	i := p.find(job)
+	if i < 0 {
+		return false, fmt.Errorf("memplan: observe of unknown job %s", job)
+	}
+	m := p.members[i]
+	if peakBytes > 0 {
+		m.PeakBytes = peakBytes
+		if m.FloorBytes > m.PeakBytes {
+			m.PeakBytes = m.FloorBytes
+		}
+	}
+	if spillBytes >= 0 {
+		m.SpillBytes = spillBytes
+	}
+	if m.PeakBytes == p.members[i].PeakBytes && m.SpillBytes == p.members[i].SpillBytes {
+		// No scalar change: the replan would be identical.
+		return false, nil
+	}
+	before := p.state.grants[job]
+	p.members[i] = m
+	p.state = plan(p.members, p.cap, p.spillCap, p.link)
+	return p.state.grants[job] != before, nil
+}
+
+// Requirement is the device-wide GPU reservation the current plan
+// needs: the shared slabs plus the worst case over the running member.
+func (p *Planner) Requirement() int64 { return p.state.requirement }
+
+// SpillUsed is the host spill pool occupancy.
+func (p *Planner) SpillUsed() int64 { return p.state.spillUsed }
+
+// SpillCap is the host spill pool capacity.
+func (p *Planner) SpillCap() int64 { return p.spillCap }
+
+// SharedSavedBytes is the capacity cross-job slab sharing avoided
+// reserving twice.
+func (p *Planner) SharedSavedBytes() int64 { return p.state.sharedSaved }
+
+// SharedStats exposes the slab registry counters of the current plan.
+func (p *Planner) SharedStats() tcache.SharedStats { return p.state.stats }
+
+// Tenants is the member count.
+func (p *Planner) Tenants() int { return len(p.members) }
+
+// Grant returns the current grant for a member.
+func (p *Planner) Grant(job string) (Grant, bool) {
+	g, ok := p.state.grants[job]
+	return g, ok
+}
+
+// SwapPenalty is the per-iteration cost of the member's spilled floor
+// (zero for resident members and unknown jobs).
+func (p *Planner) SwapPenalty(job string) sim.Duration {
+	return p.state.grants[job].SwapPenalty
+}
+
+// Directive is the planner's global offload/prefetch ordering applied
+// to one client: the minimum plan-aggressiveness level the device's
+// pressure demands of it. Spilled members escalate first (their floor
+// already lives on the host; wider offload is nearly free for them),
+// then — under high pressure — every member. The thresholds are
+// deterministic functions of the plan state.
+func (p *Planner) Directive(job string) int {
+	g, ok := p.state.grants[job]
+	if !ok {
+		return DirectiveNone
+	}
+	var headroomFrac float64 = 1
+	if p.cap > 0 {
+		headroomFrac = 1 - float64(p.state.requirement)/float64(p.cap)
+	}
+	spillFrac := 0.0
+	if p.spillCap > 0 {
+		spillFrac = float64(p.state.spillUsed) / float64(p.spillCap)
+	}
+	high := !p.state.feasible || headroomFrac < 0.05 || spillFrac > 0.90
+	mid := headroomFrac < 0.15 || spillFrac > 0.70
+	switch {
+	case high && g.SpilledBytes > 0:
+		return DirectiveRecompute
+	case high, mid && g.SpilledBytes > 0:
+		return DirectiveOffload
+	case mid && len(p.members) > 1:
+		return DirectiveOffload
+	}
+	return DirectiveNone
+}
+
+// IsolatedRequirement is what admission-by-isolation would reserve for
+// the same member set: the sum of solo peaks. The ablation metric.
+func (p *Planner) IsolatedRequirement() int64 {
+	var sum int64
+	for _, m := range p.members {
+		sum += m.PeakBytes
+	}
+	return sum
+}

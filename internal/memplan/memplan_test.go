@@ -1,0 +1,350 @@
+package memplan
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/tcache"
+)
+
+const gib = int64(1) << 30
+
+// demand builds a simple member: peak/floor in GiB, no shareable tensors.
+func demand(job string, peakGiB, floorGiB int64) Demand {
+	return Demand{Job: job, PeakBytes: peakGiB * gib, FloorBytes: floorGiB * gib}
+}
+
+func mustPlanner(t *testing.T, capGiB, spillGiB int64) *Planner {
+	t.Helper()
+	p, err := New(capGiB*gib, spillGiB*gib, hw.PCIePinned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestAdmitBeatsIsolatedReservation(t *testing.T) {
+	// Two jobs: peak 7 GiB, floor 1 GiB each, on a 12 GiB device.
+	// Sum-of-isolated-peaks (14 GiB) rejects the second; serial-engine
+	// planning needs max(7+1, 7+1) = 8 GiB — both fit with no spill.
+	p := mustPlanner(t, 12, 16)
+	for _, j := range []string{"a", "b"} {
+		if _, ok := p.Headroom(demand(j, 7, 1)); !ok {
+			t.Fatalf("job %s should fit", j)
+		}
+		g, err := p.Admit(demand(j, 7, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.SpilledBytes != 0 || g.SwapPenalty != 0 {
+			t.Fatalf("job %s spilled without memory pressure: %+v", j, g)
+		}
+	}
+	if got, want := p.Requirement(), 8*gib; got != want {
+		t.Fatalf("requirement %d, want %d", got, want)
+	}
+	if iso := p.IsolatedRequirement(); iso != 14*gib {
+		t.Fatalf("isolated requirement %d, want %d", iso, 14*gib)
+	}
+	if p.Requirement() >= p.IsolatedRequirement() {
+		t.Fatal("co-tenant plan should undercut sum-of-isolated-peaks")
+	}
+}
+
+func TestSpillUnlocksAdmissionAndPricesSwap(t *testing.T) {
+	// Three jobs of peak 6 / floor 3 on a 12 GiB device: resident floors
+	// alone make R = 6 + 3 + 3 = 12... with a fourth (R = 6+9 = 15) the
+	// planner must park floors in the host pool and price the swap.
+	p := mustPlanner(t, 12, 16)
+	for i := 0; i < 3; i++ {
+		if _, err := p.Admit(demand(fmt.Sprintf("j%d", i), 6, 3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.SpillUsed() != 0 {
+		t.Fatalf("no spill expected at 3 tenants, got %d", p.SpillUsed())
+	}
+	g, err := p.Admit(demand("j3", 6, 3))
+	if err != nil {
+		t.Fatalf("spill pool should unlock the fourth tenant: %v", err)
+	}
+	_ = g
+	if p.Requirement() > 12*gib {
+		t.Fatalf("requirement %d exceeds capacity after spill", p.Requirement())
+	}
+	if p.SpillUsed() == 0 {
+		t.Fatal("fourth tenant should have forced a floor into the spill pool")
+	}
+	// Exactly the spilled members pay a swap penalty: 2 round-trips of
+	// their floor over the link.
+	var spilled int
+	for i := 0; i < 4; i++ {
+		j := fmt.Sprintf("j%d", i)
+		gr, ok := p.Grant(j)
+		if !ok {
+			t.Fatalf("missing grant for %s", j)
+		}
+		if gr.SpilledBytes > 0 {
+			spilled++
+			want := 2 * hw.PCIePinned.TransferTime(gr.SpilledBytes)
+			if gr.SwapPenalty != want {
+				t.Fatalf("%s swap penalty %v, want %v", j, gr.SwapPenalty, want)
+			}
+		} else if gr.SwapPenalty != 0 {
+			t.Fatalf("resident %s has a swap penalty", j)
+		}
+	}
+	if spilled == 0 {
+		t.Fatal("no member records a spilled floor")
+	}
+}
+
+func TestSpillPoolExhaustionRejects(t *testing.T) {
+	// Tiny spill pool: once it is full, further tenants must be refused
+	// (never-OOM: Admit fails rather than over-committing).
+	p := mustPlanner(t, 8, 2)
+	if _, err := p.Admit(demand("a", 6, 3)); err != nil {
+		t.Fatal(err)
+	}
+	// b needs a 3 GiB floor parked, but the pool holds only 2 GiB: the
+	// resident plan (max(6+3, 6+3) = 9 GiB) exceeds the 8 GiB device and
+	// no spill candidate fits, so admission must refuse.
+	if _, ok := p.Headroom(demand("b", 6, 3)); ok {
+		t.Fatal("headroom probe should refuse when the spill pool is too small")
+	}
+	if _, err := p.Admit(demand("b", 6, 3)); err == nil {
+		t.Fatal("admit should refuse when the spill pool is too small")
+	}
+	if p.Tenants() != 1 || p.SpillUsed() != 0 {
+		t.Fatalf("failed admit mutated the plan: tenants=%d spill=%d", p.Tenants(), p.SpillUsed())
+	}
+}
+
+func TestCrossJobSharingLiftsCommonShapes(t *testing.T) {
+	// Two tenants declaring the same 2 GiB workspace shape: the shape is
+	// charged once as a device slab and lifted out of both peaks.
+	k := tcache.ShapeKey(32, 64, 56, 56, 4)
+	mk := func(job string) Demand {
+		d := demand(job, 6, 1)
+		d.Tensors = []TensorDemand{{Key: k, Bytes: 2 * gib, Width: 4, NextUse: 3}}
+		return d
+	}
+	p := mustPlanner(t, 16, 0)
+	if _, err := p.Admit(mk("a")); err != nil {
+		t.Fatal(err)
+	}
+	if p.SharedSavedBytes() != 0 {
+		t.Fatal("a single tenant cannot save anything")
+	}
+	g, err := p.Admit(mk("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.SharedBytes != 2*gib {
+		t.Fatalf("b shared bytes %d, want %d", g.SharedBytes, 2*gib)
+	}
+	if p.SharedSavedBytes() != 2*gib {
+		t.Fatalf("saved %d, want %d", p.SharedSavedBytes(), 2*gib)
+	}
+	// R = slab(2) + max over j of (effPeak_j + other floors)
+	//   = 2 + (6-2) + 1 = 7 GiB. Without sharing it would be 8 GiB.
+	if got, want := p.Requirement(), 7*gib; got != want {
+		t.Fatalf("requirement %d, want %d", got, want)
+	}
+}
+
+func TestPlanIsPureFunctionOfMemberSet(t *testing.T) {
+	// Admission order must not matter: the plan is derived from the set
+	// sorted by job ID, which is what lets snapshot restore re-admit
+	// residents in any recorded order and land on identical grants.
+	mk := func(order []string) *Planner {
+		p := mustPlanner(t, 12, 8)
+		for _, j := range order {
+			var d Demand
+			switch j {
+			case "a":
+				d = demand("a", 7, 1)
+			case "b":
+				d = demand("b", 5, 3)
+			case "c":
+				d = demand("c", 4, 2)
+			}
+			if _, err := p.Admit(d); err != nil {
+				t.Fatalf("admit %s: %v", j, err)
+			}
+		}
+		return p
+	}
+	p1 := mk([]string{"a", "b", "c"})
+	p2 := mk([]string{"c", "a", "b"})
+	if p1.Requirement() != p2.Requirement() || p1.SpillUsed() != p2.SpillUsed() {
+		t.Fatalf("order-dependent plan: R %d/%d spill %d/%d",
+			p1.Requirement(), p2.Requirement(), p1.SpillUsed(), p2.SpillUsed())
+	}
+	for _, j := range []string{"a", "b", "c"} {
+		g1, _ := p1.Grant(j)
+		g2, _ := p2.Grant(j)
+		if g1 != g2 {
+			t.Fatalf("job %s grant differs by admission order: %+v vs %+v", j, g1, g2)
+		}
+	}
+}
+
+func TestSpillOrderLargestFloorFirst(t *testing.T) {
+	// Force exactly one spill; the victim must be the largest floor.
+	p := mustPlanner(t, 12, 16)
+	if _, err := p.Admit(demand("small", 6, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Admit(demand("big", 6, 4)); err != nil {
+		t.Fatal(err)
+	}
+	// R = max(6+4, 6+1) = 10 ≤ 12: both resident so far.
+	if p.SpillUsed() != 0 {
+		t.Fatalf("unexpected spill at 2 tenants: %d", p.SpillUsed())
+	}
+	if _, err := p.Admit(demand("third", 7, 2)); err != nil {
+		t.Fatal(err)
+	}
+	// Resident R would be max(6+6, 6+3, 7+5) = 12 ≤ 12 — still fine.
+	if _, err := p.Admit(demand("fourth", 7, 2)); err != nil {
+		t.Fatal(err)
+	}
+	gb, _ := p.Grant("big")
+	if gb.SpilledBytes != 4*gib {
+		t.Fatalf("largest floor should spill first; big got %+v (spill used %d)", gb, p.SpillUsed())
+	}
+	gs, _ := p.Grant("small")
+	if gs.SpilledBytes != 0 && p.SpillUsed() == 4*gib {
+		t.Fatalf("small spilled unnecessarily: %+v", gs)
+	}
+}
+
+func TestReleaseRestoresHeadroom(t *testing.T) {
+	p := mustPlanner(t, 12, 0)
+	if _, err := p.Admit(demand("a", 7, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Admit(demand("b", 7, 1)); err != nil {
+		t.Fatal(err)
+	}
+	big := demand("huge", 11, 2)
+	if _, ok := p.Headroom(big); ok {
+		t.Fatal("huge job cannot fit alongside a and b")
+	}
+	if _, ok := p.HeadroomWithout(func(j string) bool { return true }, big); !ok {
+		t.Fatal("huge job should fit on an emptied device (preemption probe)")
+	}
+	if err := p.Release("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Release("b"); err != nil {
+		t.Fatal(err)
+	}
+	if hr, ok := p.Headroom(big); !ok || hr != 1*gib {
+		t.Fatalf("headroom %d ok=%v after releases, want %d", hr, ok, 1*gib)
+	}
+	if err := p.Release("a"); err == nil {
+		t.Fatal("double release should fail")
+	}
+}
+
+func TestObserveReplans(t *testing.T) {
+	p := mustPlanner(t, 12, 16)
+	if _, err := p.Admit(demand("a", 5, 1)); err != nil {
+		t.Fatal(err)
+	}
+	changed, err := p.Observe("a", 5*gib, 0)
+	if err != nil || changed {
+		t.Fatalf("no-op observe: changed=%v err=%v", changed, err)
+	}
+	// A measured peak above capacity must not panic or evict — the
+	// pressure surfaces through Directive instead.
+	if _, err := p.Observe("a", 13*gib, 0); err != nil {
+		t.Fatal(err)
+	}
+	if p.Requirement() <= 12*gib {
+		t.Fatalf("requirement %d should reflect the measured over-peak", p.Requirement())
+	}
+	if d := p.Directive("a"); d < DirectiveOffload {
+		t.Fatalf("directive %d under infeasible pressure, want ≥ %d", d, DirectiveOffload)
+	}
+	if _, err := p.Observe("ghost", gib, 0); err == nil {
+		t.Fatal("observing an unknown job should fail")
+	}
+}
+
+func TestDirectiveEscalatesSpilledFirst(t *testing.T) {
+	// Fill the device so one tenant spills and headroom is thin: the
+	// spilled tenant must be directed at least as aggressively as the
+	// residents.
+	p := mustPlanner(t, 12, 16)
+	for i := 0; i < 5; i++ {
+		if _, err := p.Admit(demand(fmt.Sprintf("j%d", i), 6, 3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var spilledDir, residentDir = -1, -1
+	for i := 0; i < 5; i++ {
+		j := fmt.Sprintf("j%d", i)
+		g, _ := p.Grant(j)
+		d := p.Directive(j)
+		if g.SpilledBytes > 0 {
+			if spilledDir == -1 || d < spilledDir {
+				spilledDir = d
+			}
+		} else if residentDir == -1 || d > residentDir {
+			residentDir = d
+		}
+	}
+	if spilledDir == -1 {
+		t.Fatal("expected at least one spilled tenant")
+	}
+	if residentDir >= 0 && spilledDir < residentDir {
+		t.Fatalf("spilled tenants directed at %d, residents at %d", spilledDir, residentDir)
+	}
+	if p.Directive("ghost") != DirectiveNone {
+		t.Fatal("unknown jobs get no directive")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	p := mustPlanner(t, 12, 0)
+	cases := []Demand{
+		{},                         // no job
+		{Job: "a"},                 // zero peak
+		{Job: "a", PeakBytes: -1},  // negative peak
+		demandWithFloor("a", 4, 5), // floor > peak
+		{Job: "a", PeakBytes: gib, SpillBytes: -1},
+		{Job: "a", PeakBytes: gib, Tensors: []TensorDemand{{Key: 1, Bytes: 0}}},
+		{Job: "a", PeakBytes: gib, Tensors: []TensorDemand{{Key: 1, Bytes: 2 * gib}}},
+	}
+	for i, d := range cases {
+		if _, err := p.Admit(d); err == nil {
+			t.Fatalf("case %d: invalid demand admitted: %+v", i, d)
+		}
+		if _, ok := p.Headroom(d); ok {
+			t.Fatalf("case %d: invalid demand has headroom", i)
+		}
+	}
+	if _, err := p.Admit(demand("a", 4, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Admit(demand("a", 4, 1)); err == nil {
+		t.Fatal("double admission should fail")
+	}
+	if _, ok := p.Headroom(demand("a", 4, 1)); ok {
+		t.Fatal("headroom probe for an admitted job should fail")
+	}
+	if _, err := New(0, 0, hw.PCIePinned); err == nil {
+		t.Fatal("zero-capacity planner should be rejected")
+	}
+	if _, err := New(gib, -1, hw.PCIePinned); err == nil {
+		t.Fatal("negative spill pool should be rejected")
+	}
+}
+
+func demandWithFloor(job string, peakGiB, floorGiB int64) Demand {
+	return Demand{Job: job, PeakBytes: peakGiB * gib, FloorBytes: floorGiB * gib}
+}

@@ -8,7 +8,9 @@ import (
 	"repro/internal/core"
 	"repro/internal/hw"
 	"repro/internal/memmgr"
+	"repro/internal/memplan"
 	"repro/internal/nnet"
+	"repro/internal/program"
 )
 
 // Estimator memoizes dry-run admission estimates. Every manager's
@@ -19,13 +21,17 @@ import (
 // owns one Estimator; construct more with NewEstimator to share a memo
 // deliberately.
 type Estimator struct {
-	mu    sync.Mutex
-	cache map[estKey]estVal
+	mu      sync.Mutex
+	cache   map[estKey]estVal
+	demands map[demandKey][]memplan.TensorDemand
 }
 
 // NewEstimator returns an empty estimator.
 func NewEstimator() *Estimator {
-	return &Estimator{cache: make(map[estKey]estVal)}
+	return &Estimator{
+		cache:   make(map[estKey]estVal),
+		demands: make(map[demandKey][]memplan.TensorDemand),
+	}
 }
 
 // Estimate predicts a job's peak pool footprint and iteration time by
@@ -45,6 +51,41 @@ func (e *Estimator) Estimate(network string, batch int, manager string, d hw.Dev
 	e.cache[key] = estVal{est: est, err: err}
 	e.mu.Unlock()
 	return est, err
+}
+
+// demandTopK bounds the tensor-granularity demand each job submits to
+// its device planner: the largest shareable shapes carry nearly all of
+// the cross-job reuse, and a short list keeps replanning (a fold over
+// every member's tensors) cheap at high co-tenancy.
+const demandTopK = 6
+
+// TensorDemands returns the memoized tensor-granularity demand of the
+// named network at the given batch — the largest shareable (data /
+// gradient / workspace) shapes of its built program, the currency jobs
+// submit to the device planner under Cluster.CrossJob. Shapes depend
+// only on (network, batch), never on the manager or device, so the memo
+// key is deliberately smaller than the estimate's.
+func (e *Estimator) TensorDemands(network string, batch int) ([]memplan.TensorDemand, error) {
+	key := demandKey{network: network, batch: batch}
+	e.mu.Lock()
+	if tds, ok := e.demands[key]; ok {
+		e.mu.Unlock()
+		return tds, nil
+	}
+	e.mu.Unlock()
+
+	b := nnet.ByName(network)
+	if b == nil {
+		return nil, fmt.Errorf("sched: unknown network %q", network)
+	}
+	if batch <= 0 {
+		return nil, fmt.Errorf("sched: batch must be positive, got %d", batch)
+	}
+	tds := memmgr.TensorDemands(program.Build(b(batch)), demandTopK)
+	e.mu.Lock()
+	e.demands[key] = tds
+	e.mu.Unlock()
+	return tds, nil
 }
 
 // Len returns the number of memoized shapes (for tests and
@@ -94,6 +135,12 @@ type estKey struct {
 type estVal struct {
 	est memmgr.Estimate
 	err error
+}
+
+// demandKey memoizes tensor demands per program shape.
+type demandKey struct {
+	network string
+	batch   int
 }
 
 // errOOM reports whether a dry run failed for capacity reasons.

@@ -2,6 +2,7 @@ package sched
 
 import (
 	"fmt"
+	"log/slog"
 
 	"repro/internal/sim"
 )
@@ -39,6 +40,11 @@ func NewIncremental(c Cluster, p Policy, est *Estimator) (*Incremental, error) {
 	}
 	return &Incremental{ex: ex}, nil
 }
+
+// SetLogger routes structured scheduling events (admissions,
+// preemptions, rejections, spill decisions) to lg; nil discards them.
+// Logging is observation only — it never affects the replay.
+func (inc *Incremental) SetLogger(lg *slog.Logger) { inc.ex.setLogger(lg) }
 
 // Append adds the next job of the stream and returns its index. The
 // job's arrival must be at or after the watermark — events below it

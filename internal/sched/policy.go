@@ -3,7 +3,6 @@ package sched
 import (
 	"sort"
 
-	"repro/internal/hw"
 	"repro/internal/memmgr"
 	"repro/internal/sim"
 )
@@ -106,19 +105,20 @@ func (p Policy) less(a, b *jobState) bool {
 	return a.seq < b.seq
 }
 
-// pickDevice returns the device to admit the job to, or -1.
-func (p Policy) pickDevice(js *jobState, devs []*device, cap int64) int {
-	need := js.est.PeakBytes
+// pickDevice returns the device to admit the job to, or -1. All fit
+// and leftover questions route through the exec's headroom context —
+// isolated arithmetic or the CrossJob device planner, transparently.
+func (p Policy) pickDevice(js *jobState, e *exec) int {
 	best, bestLeft := -1, int64(0)
-	for di, d := range devs {
-		free := cap - d.used
-		if free < need {
+	for di := range e.devs {
+		left, ok := e.headroom(js, di)
+		if !ok {
 			continue
 		}
 		if !p.BestFit {
 			return di
 		}
-		if left := free - need; best == -1 || left < bestLeft {
+		if best == -1 || left < bestLeft {
 			best, bestLeft = di, left
 		}
 	}
@@ -128,18 +128,17 @@ func (p Policy) pickDevice(js *jobState, devs []*device, cap int64) int {
 // pickGang returns the devices (ascending) to admit the job's gang
 // to, or nil when no placement fits right now. A single-device job
 // reduces exactly to pickDevice; a gang needs GPUs distinct devices
-// that each fit the per-device peak — the all-or-nothing rule.
-func (p Policy) pickGang(js *jobState, devs []*device, cap int64, topo hw.Topology) []int {
+// that each fit the per-device demand — the all-or-nothing rule.
+func (p Policy) pickGang(js *jobState, e *exec) []int {
 	if js.GPUs <= 1 {
-		if di := p.pickDevice(js, devs, cap); di >= 0 {
+		if di := p.pickDevice(js, e); di >= 0 {
 			return []int{di}
 		}
 		return nil
 	}
-	need := js.est.PeakBytes
 	var cands []int
-	for di, d := range devs {
-		if cap-d.used >= need {
+	for di := range e.devs {
+		if _, ok := e.headroom(js, di); ok {
 			cands = append(cands, di)
 		}
 	}
@@ -147,19 +146,19 @@ func (p Policy) pickGang(js *jobState, devs []*device, cap int64, topo hw.Topolo
 		return nil
 	}
 	if p.TopoAware {
-		if topo.NVLinkIsland > 0 {
-			if g := p.pickGrouped(cands, js.GPUs, devs, cap, need, topo.Island); g != nil {
+		if e.topo.NVLinkIsland > 0 {
+			if g := p.pickGrouped(cands, js, e, e.topo.Island); g != nil {
 				return g
 			}
 		}
-		if g := p.pickGrouped(cands, js.GPUs, devs, cap, need, topo.Node); g != nil {
+		if g := p.pickGrouped(cands, js, e, e.topo.Node); g != nil {
 			return g
 		}
 	}
 	if !p.BestFit {
 		return append([]int(nil), cands[:js.GPUs]...) // first fit
 	}
-	return bestFitGang(cands, js.GPUs, devs, cap, need)
+	return bestFitGang(cands, js, e)
 }
 
 // pickGrouped tries to place the whole gang inside one locality group
@@ -168,7 +167,8 @@ func (p Policy) pickGang(js *jobState, devs []*device, cap int64, topo hw.Topolo
 // the tightest group, keeping larger contiguous blocks free for wider
 // gangs — with the lower group key breaking ties. Returns nil when no
 // single group holds the gang.
-func (p Policy) pickGrouped(cands []int, n int, devs []*device, cap, need int64, key func(int) int) []int {
+func (p Policy) pickGrouped(cands []int, js *jobState, e *exec, key func(int) int) []int {
+	n := js.GPUs
 	type group struct {
 		key     int
 		members []int
@@ -202,22 +202,27 @@ func (p Policy) pickGrouped(cands []int, n int, devs []*device, cap, need int64,
 	if !p.BestFit {
 		return append([]int(nil), m[:n]...)
 	}
-	return bestFitGang(m, n, devs, cap, need)
+	return bestFitGang(m, js, e)
 }
 
-// bestFitGang picks the n candidates with the least leftover memory
-// (ties to the lower device index) and returns them ascending.
-func bestFitGang(cands []int, n int, devs []*device, cap, need int64) []int {
+// bestFitGang picks the GPUs candidates with the least leftover memory
+// (ties to the lower device index) and returns them ascending. Every
+// candidate already passed the headroom probe, so the leftover lookup
+// cannot miss.
+func bestFitGang(cands []int, js *jobState, e *exec) []int {
+	left := make(map[int]int64, len(cands))
+	for _, di := range cands {
+		l, _ := e.headroom(js, di)
+		left[di] = l
+	}
 	picked := append([]int(nil), cands...)
 	sort.SliceStable(picked, func(i, j int) bool {
-		li := cap - devs[picked[i]].used - need
-		lj := cap - devs[picked[j]].used - need
-		if li != lj {
-			return li < lj
+		if left[picked[i]] != left[picked[j]] {
+			return left[picked[i]] < left[picked[j]]
 		}
 		return picked[i] < picked[j]
 	})
-	picked = picked[:n]
+	picked = picked[:js.GPUs]
 	sort.Ints(picked)
 	return picked
 }
@@ -225,18 +230,19 @@ func bestFitGang(cands []int, n int, devs []*device, cap, need int64) []int {
 // schedule is the admission pass: order the queue, admit what fits
 // (honoring backfill), and let a preemptive policy evict for a
 // blocked head. Invoked at every arrival and iteration boundary.
-func (p Policy) schedule(pending *[]*jobState, devs []*device, cap int64, topo hw.Topology, now sim.Time,
-	admit func(*jobState, []int, sim.Time), vacate func(*jobState, sim.Time)) {
+func (p Policy) schedule(e *exec, now sim.Time) {
 	for {
-		q := *pending
+		q := e.pending
 		sort.SliceStable(q, func(i, j int) bool { return p.less(q[i], q[j]) })
 		i := 0
 		for i < len(q) {
 			js := q[i]
-			gang := p.pickGang(js, devs, cap, topo)
+			gang := p.pickGang(js, e)
 			if gang != nil {
 				q = append(q[:i], q[i+1:]...)
-				admit(js, gang, now)
+				e.pending = q
+				e.admit(js, gang, now)
+				q = e.pending
 				continue
 			}
 			if !p.Backfill {
@@ -244,11 +250,11 @@ func (p Policy) schedule(pending *[]*jobState, devs []*device, cap int64, topo h
 			}
 			i++
 		}
-		*pending = q
+		e.pending = q
 		if !p.Preemptive || len(q) == 0 {
 			return
 		}
-		if !p.preempt(q[0], pending, devs, cap, now, vacate) {
+		if !p.preempt(q[0], e, now) {
 			return
 		}
 	}
@@ -268,22 +274,15 @@ func (p Policy) schedule(pending *[]*jobState, devs []*device, cap int64, topo h
 // devices' resident lists before they are examined, so it is never
 // evicted twice. Reports whether any reservation was released right
 // now (in which case the caller re-runs the admission pass).
-func (p Policy) preempt(head *jobState, pending *[]*jobState, devs []*device, cap int64,
-	now sim.Time, vacate func(*jobState, sim.Time)) bool {
-	need := head.est.PeakBytes
+func (p Policy) preempt(head *jobState, e *exec, now sim.Time) bool {
 	want := head.GPUs
 	if want < 1 {
 		want = 1
 	}
+	lower := func(r *jobState) bool { return r.Priority < head.Priority }
 	var viable []int
-	for di, d := range devs {
-		total := cap - d.used
-		for _, r := range d.resident {
-			if r.Priority < head.Priority {
-				total += r.est.PeakBytes
-			}
-		}
-		if total >= need {
+	for di := range e.devs {
+		if _, ok := e.headroomWithout(head, di, lower); ok {
 			viable = append(viable, di)
 			if len(viable) == want {
 				break
@@ -295,10 +294,10 @@ func (p Policy) preempt(head *jobState, pending *[]*jobState, devs []*device, ca
 	}
 	freedNow := false
 	for _, di := range viable {
-		d := devs[di]
+		d := e.devs[di]
 		var cands []*jobState
 		for _, r := range d.resident {
-			if r.Priority < head.Priority {
+			if lower(r) {
 				cands = append(cands, r)
 			}
 		}
@@ -308,25 +307,37 @@ func (p Policy) preempt(head *jobState, pending *[]*jobState, devs []*device, ca
 			}
 			return cands[i].seq > cands[j].seq
 		})
-		free := cap - d.used
+		// counted marks victims whose reservation is already treated as
+		// released for this device's fit question — either marked for
+		// vacate at their iteration boundary or vacated right here. The
+		// head fits once headroomWithout(counted) succeeds.
+		counted := make(map[*jobState]bool, len(cands))
 		for _, v := range cands {
-			if free >= need {
+			if _, ok := e.headroomWithout(head, di, func(r *jobState) bool { return counted[r] }); ok {
 				break
 			}
-			free += v.est.PeakBytes
+			counted[v] = true
 			if v.marked {
 				continue // already vacating
 			}
 			if v.running {
 				v.marked = true
+				if e.lgDbg {
+					e.lg.Debug("preemption marked", "head", head.ID, "victim", v.ID,
+						"device", di, "t", int64(now), "victim_priority", v.Priority,
+						"head_priority", head.Priority)
+				}
 				continue
 			}
 			// Idle victim: vacate (the whole gang) and re-queue.
 			v.preempts++
-			vacate(v, now)
+			e.vacate(v, now)
 			v.device = -1
-			*pending = append(*pending, v)
+			e.pending = append(e.pending, v)
 			freedNow = true
+			e.lg.Info("job preempted", "head", head.ID, "victim", v.ID, "device", di,
+				"gang", v.gang, "t", int64(now), "victim_priority", v.Priority,
+				"head_priority", head.Priority, "cotenants", coResidents(d))
 		}
 	}
 	return freedNow

@@ -1,11 +1,15 @@
 package sched
 
 import (
+	"context"
 	"fmt"
+	"io"
+	"log/slog"
 
 	"repro/internal/dataparallel"
 	"repro/internal/hw"
 	"repro/internal/memmgr"
+	"repro/internal/memplan"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -135,6 +139,10 @@ type jobState struct {
 	marked bool
 	// running is set while an iteration is in flight on the engine.
 	running bool
+	// demand is the device-planner demand under CrossJob admission
+	// (zero otherwise). Immutable after creation; clones share the
+	// tensor slice.
+	demand memplan.Demand
 }
 
 // device is the scheduler's mutable view of one GPU. The serial
@@ -151,6 +159,11 @@ type device struct {
 	rr       int // round-robin cursor into resident
 	inflight bool
 	iters    int
+
+	// maxRes is the co-residency high-water mark; spillPeak the
+	// host-spill-pool one (CrossJob only).
+	maxRes    int
+	spillPeak int64
 
 	// memIntegral accumulates used×dt for the memory-utilization
 	// metric; lastT is the time of its last update.
@@ -179,6 +192,20 @@ type exec struct {
 	// the gang communication model (see Cluster).
 	topo    hw.Topology
 	overlap bool
+
+	// crossjob enables the interference-aware device planners (one per
+	// device, nil otherwise); spillCap is the per-device host spill
+	// pool each planner owns. Planner state is a pure function of the
+	// member set, which is what lets clone and snapshot-restore rebuild
+	// planners by re-admitting residents (rebuildPlanners).
+	crossjob bool
+	spillCap int64
+	planners []*memplan.Planner
+
+	// lg receives structured scheduling decisions; lgDbg gates the
+	// per-event hot path (checked once, the serve-layer idiom).
+	lg    *slog.Logger
+	lgDbg bool
 
 	states  []*jobState
 	devs    []*device
@@ -215,7 +242,55 @@ func newExec(c Cluster, p Policy, est *Estimator) (*exec, error) {
 	for i := range e.devs {
 		e.devs[i] = &device{}
 	}
+	if c.CrossJob {
+		e.crossjob = true
+		e.spillCap = c.HostSpillBytes
+		if e.spillCap <= 0 {
+			e.spillCap = defaultSpillBytes
+		}
+		// Reflect the resolved pool size in the reported cluster.
+		e.cluster.HostSpillBytes = e.spillCap
+		e.planners = make([]*memplan.Planner, len(e.devs))
+		for i := range e.planners {
+			pl, err := memplan.New(e.cap, e.spillCap, spillLink)
+			if err != nil {
+				return nil, fmt.Errorf("sched: %w", err)
+			}
+			e.planners[i] = pl
+		}
+	}
+	e.setLogger(nil)
 	return e, nil
+}
+
+// defaultSpillBytes is the per-device host spill pool under CrossJob
+// when the cluster does not size it; spillLink prices the floor swaps
+// (the pinned PCIe path memmgr's host offloads default to).
+const defaultSpillBytes = 64 * hw.GiB
+
+var spillLink = hw.PCIePinned
+
+// setLogger installs the structured-event sink (nil discards).
+func (e *exec) setLogger(lg *slog.Logger) {
+	if lg == nil {
+		lg = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	e.lg = lg
+	e.lgDbg = lg.Enabled(context.Background(), slog.LevelDebug)
+}
+
+// plannerID is the job's member key in device planners: the zero-padded
+// trace index, so lexicographic member order (the planner's spill
+// tie-break) is exactly trace order.
+func plannerID(js *jobState) string { return fmt.Sprintf("%08d", js.seq) }
+
+// coResidents renders a device's resident job IDs for logging.
+func coResidents(d *device) []string {
+	out := make([]string, 0, len(d.resident))
+	for _, r := range d.resident {
+		out = append(out, r.ID)
+	}
+	return out
 }
 
 // addJob estimates and appends one job, deciding up-front rejection.
@@ -250,6 +325,7 @@ func (e *exec) addJob(j Job) (int, error) {
 	}
 	perBatch := make(map[int]memmgr.Estimate, len(batches))
 	var worst memmgr.Estimate
+	worstBatch := 0
 	rejReason := ""
 	for _, b := range batches {
 		est, err := e.est.Estimate(j.Network, b, j.Manager, e.cluster.Device)
@@ -261,8 +337,9 @@ func (e *exec) addJob(j Job) (int, error) {
 			return -1, fmt.Errorf("sched: job %s: %w", j.ID, err)
 		}
 		perBatch[b] = est
-		if est.PeakBytes > worst.PeakBytes {
+		if est.PeakBytes > worst.PeakBytes || worstBatch == 0 {
 			worst = est
+			worstBatch = b
 		}
 	}
 	if rejReason != "" {
@@ -271,6 +348,7 @@ func (e *exec) addJob(j Job) (int, error) {
 		// reported it.
 		e.states = append(e.states, &jobState{Job: j, seq: i, rejReason: rejReason})
 		e.rejCount++
+		e.lg.Info("job rejected", "job", j.ID, "reason", rejReason)
 		return i, nil
 	}
 	if worst.PeakBytes > e.cap {
@@ -287,9 +365,48 @@ func (e *exec) addJob(j Job) (int, error) {
 	if rejReason != "" {
 		js.remaining = 0
 		e.rejCount++
+		e.lg.Info("job rejected", "job", j.ID, "reason", rejReason,
+			"peak_bytes", worst.PeakBytes, "capacity", e.cap)
+	} else if e.crossjob {
+		// The worst shape's tensor-granularity demand; the planner sees
+		// the same worst case admission reserves.
+		tds, err := e.est.TensorDemands(j.Network, worstBatch)
+		if err != nil {
+			return -1, fmt.Errorf("sched: job %s: %w", j.ID, err)
+		}
+		js.demand = buildDemand(js, tds)
 	}
 	e.states = append(e.states, js)
 	return i, nil
+}
+
+// buildDemand assembles the device-planner demand from the admission
+// estimate and the extracted tensor shapes, clamped to the functional
+// budget (peak minus floor) — shape sizes are program-declared while
+// the peak is a measured high-water mark, and the planner refuses
+// demands whose shareable bytes exceed the job's running footprint. An
+// estimate without a floor (recorded before the field existed) yields
+// floor == peak: worst-case-in-isolation, never an optimistic plan.
+func buildDemand(js *jobState, tds []memplan.TensorDemand) memplan.Demand {
+	d := memplan.Demand{
+		Job:        plannerID(js),
+		PeakBytes:  js.est.PeakBytes,
+		FloorBytes: js.est.FloorBytes,
+		SpillBytes: js.est.SpillBytes,
+		IterTime:   js.est.IterTime,
+	}
+	if d.FloorBytes <= 0 || d.FloorBytes > d.PeakBytes {
+		d.FloorBytes = d.PeakBytes
+	}
+	budget := d.PeakBytes - d.FloorBytes
+	for _, td := range tds {
+		if td.Bytes > budget {
+			continue
+		}
+		d.Tensors = append(d.Tensors, td)
+		budget -= td.Bytes
+	}
+	return d
 }
 
 // postArrival schedules job i's arrival event (no-op for rejected
@@ -330,7 +447,51 @@ func (e *exec) fail(err error) {
 }
 
 func (e *exec) schedule(now sim.Time) {
-	e.policy.schedule(&e.pending, e.devs, e.cap, e.topo, now, e.admit, e.vacate)
+	e.policy.schedule(e, now)
+}
+
+// headroom is the fit context every placement decision routes through:
+// the capacity left on device di after admitting js, and whether it
+// fits at all. Isolated mode is the historical arithmetic (free minus
+// solo peak); CrossJob asks the device planner, whose requirement
+// charges the worst case over the running tenant plus parked floors —
+// not the sum of solo peaks.
+func (e *exec) headroom(js *jobState, di int) (int64, bool) {
+	if e.crossjob {
+		return e.planners[di].Headroom(js.demand)
+	}
+	left := e.cap - e.devs[di].used - js.est.PeakBytes
+	if left < 0 {
+		return 0, false
+	}
+	return left, true
+}
+
+// headroomWithout is headroom with some residents hypothetically
+// evicted — the preemption-viability probe.
+func (e *exec) headroomWithout(js *jobState, di int, exclude func(*jobState) bool) (int64, bool) {
+	d := e.devs[di]
+	if e.crossjob {
+		return e.planners[di].HeadroomWithout(func(member string) bool {
+			for _, r := range d.resident {
+				if plannerID(r) == member {
+					return exclude(r)
+				}
+			}
+			return false
+		}, js.demand)
+	}
+	free := e.cap - d.used
+	for _, r := range d.resident {
+		if exclude(r) {
+			free += r.est.PeakBytes
+		}
+	}
+	left := free - js.est.PeakBytes
+	if left < 0 {
+		return 0, false
+	}
+	return left, true
 }
 
 // admit reserves the job's per-device peak on every gang member —
@@ -340,11 +501,31 @@ func (e *exec) schedule(now sim.Time) {
 func (e *exec) admit(js *jobState, gang []int, now sim.Time) {
 	for _, di := range gang {
 		d := e.devs[di]
-		d.setUsed(now, js.est.PeakBytes)
+		if e.crossjob {
+			// The device reserves the planner's requirement delta: the
+			// member set is replanned with js included, and used tracks
+			// the new requirement exactly. Admit fails only when the
+			// policy admitted without probing headroom first — that is
+			// a scheduler bug, surfaced as a run error, never an OOM.
+			pl := e.planners[di]
+			before := pl.Requirement()
+			if _, err := pl.Admit(js.demand); err != nil {
+				e.fail(fmt.Errorf("sched: %w", err))
+			}
+			d.setUsed(now, pl.Requirement()-before)
+			if sp := pl.SpillUsed(); sp > d.spillPeak {
+				d.spillPeak = sp
+			}
+		} else {
+			d.setUsed(now, js.est.PeakBytes)
+		}
 		if d.used > e.cap {
 			e.fail(fmt.Errorf("sched: admission overflow on gpu%d: %d > capacity %d (job %s)", di, d.used, e.cap, js.ID))
 		}
 		d.resident = append(d.resident, js)
+		if len(d.resident) > d.maxRes {
+			d.maxRes = len(d.resident)
+		}
 	}
 	js.gang = gang
 	js.device = gang[0]
@@ -360,6 +541,21 @@ func (e *exec) admit(js *jobState, gang []int, now sim.Time) {
 	if !js.started {
 		js.started = true
 		js.start = now
+	}
+	if e.lgDbg {
+		attrs := []any{"job", js.ID, "device", gang[0], "gang", gang, "t", int64(now),
+			"peak_bytes", js.est.PeakBytes, "cotenants", coResidents(e.devs[gang[0]])}
+		if e.crossjob {
+			pl := e.planners[gang[0]]
+			g, _ := pl.Grant(js.demand.Job)
+			attrs = append(attrs, "requirement", pl.Requirement(), "spill_used", pl.SpillUsed(),
+				"shared_saved", pl.SharedSavedBytes())
+			if g.SpilledBytes > 0 {
+				e.lg.Debug("floor spilled", "job", js.ID, "device", gang[0],
+					"spilled_bytes", g.SpilledBytes, "swap_penalty", int64(g.SwapPenalty))
+			}
+		}
+		e.lg.Debug("job admitted", attrs...)
 	}
 	e.dispatch(e.devs[gang[0]], gang[0], now)
 }
@@ -384,7 +580,16 @@ func (e *exec) vacate(js *jobState, now sim.Time) {
 		} else {
 			d.rr = 0
 		}
-		d.setUsed(now, -js.est.PeakBytes)
+		if e.crossjob {
+			pl := e.planners[di]
+			before := pl.Requirement()
+			if err := pl.Release(js.demand.Job); err != nil {
+				e.fail(fmt.Errorf("sched: %w", err))
+			}
+			d.setUsed(now, pl.Requirement()-before)
+		} else {
+			d.setUsed(now, -js.est.PeakBytes)
+		}
 	}
 	js.gangAR = 0
 }
@@ -481,6 +686,18 @@ func (e *exec) iterDur(js *jobState) sim.Duration {
 	if js.gangAR > 0 {
 		base += dataparallel.ExposedAllReduce(js.gangAR, base, e.overlap)
 	}
+	if e.crossjob {
+		// A spilled tenant swaps its floor in before the iteration and
+		// back out after — the AccUDNN-style price of admission beyond
+		// resident capacity. A gang pays its slowest member's swap.
+		var pen sim.Duration
+		for _, g := range js.gang {
+			if p := e.planners[g].SwapPenalty(js.demand.Job); p > pen {
+				pen = p
+			}
+		}
+		base += pen
+	}
 	return base
 }
 
@@ -493,6 +710,7 @@ func (e *exec) clone() *exec {
 	c := &exec{
 		cluster: e.cluster, policy: e.policy, cap: e.cap, est: e.est,
 		topo: e.topo, overlap: e.overlap,
+		crossjob: e.crossjob, spillCap: e.spillCap, lg: e.lg, lgDbg: e.lgDbg,
 		doneSeq: e.doneSeq, now: e.now, runErr: e.runErr,
 		finCount: e.finCount, rejCount: e.rejCount, sumJCT: e.sumJCT, sumWait: e.sumWait,
 	}
@@ -531,7 +749,36 @@ func (e *exec) clone() *exec {
 			remap(e.states[ev.job])
 		}
 	}
+	if err := c.rebuildPlanners(); err != nil {
+		c.fail(err)
+	}
 	return c
+}
+
+// rebuildPlanners reconstructs every device planner from its resident
+// set. Planner state is a pure function of the member demand set, so
+// re-admitting the residents — in any order — reproduces the exact
+// plan: this is how clone and snapshot restore avoid serializing
+// planner internals, and why legacy snapshots (no planner state at
+// all) restore cleanly to isolated planning.
+func (e *exec) rebuildPlanners() error {
+	if !e.crossjob {
+		return nil
+	}
+	e.planners = make([]*memplan.Planner, len(e.devs))
+	for di, d := range e.devs {
+		pl, err := memplan.New(e.cap, e.spillCap, spillLink)
+		if err != nil {
+			return fmt.Errorf("sched: %w", err)
+		}
+		for _, r := range d.resident {
+			if _, err := pl.Admit(r.demand); err != nil {
+				return fmt.Errorf("sched: rebuilding gpu%d plan: %w", di, err)
+			}
+		}
+		e.planners[di] = pl
+	}
+	return nil
 }
 
 // jobResult renders job i's outcome. Valid for finalized jobs at any
@@ -581,7 +828,8 @@ func (e *exec) result() (*Result, error) {
 	var memSum float64
 	for i, d := range e.devs {
 		d.setUsed(end, 0) // close the integral
-		st := DeviceStat{Busy: d.busy, PeakReserved: d.peak, Iterations: d.iters}
+		st := DeviceStat{Busy: d.busy, PeakReserved: d.peak, Iterations: d.iters,
+			PeakResidents: d.maxRes, SpillPeak: d.spillPeak}
 		if end > 0 {
 			st.BusyFrac = float64(st.Busy) / float64(end)
 			st.MemUtil = d.memIntegral / (float64(e.cap) * float64(end))

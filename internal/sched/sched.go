@@ -44,6 +44,7 @@ package sched
 
 import (
 	"fmt"
+	"log/slog"
 
 	"repro/internal/hw"
 	"repro/internal/memmgr"
@@ -101,6 +102,20 @@ type Cluster struct {
 	// backward half of its iteration (the bucketed exchange); when
 	// false gangs serialize compute then communicate.
 	Overlap bool
+
+	// CrossJob replaces worst-case-in-isolation admission with the
+	// interference-aware device planner (internal/memplan): co-resident
+	// jobs on a device are planned together — the device reserves the
+	// planner's requirement (shared slabs plus the worst case over the
+	// running tenant, not the sum of solo peaks), parked jobs' floors
+	// may spill to a per-device host pool, and each spilled tenant pays
+	// a per-iteration swap penalty. Admission still never over-commits:
+	// a placement is taken only when the combined plan fits, so the
+	// never-OOM guarantee is preserved by construction.
+	CrossJob bool
+	// HostSpillBytes bounds each device's host-side spill pool under
+	// CrossJob (0 selects the 64 GiB default). Ignored otherwise.
+	HostSpillBytes int64
 }
 
 // Capacity returns the per-device memory capacity.
@@ -145,6 +160,13 @@ type DeviceStat struct {
 	MemUtil float64
 	// Iterations counts training iterations executed on the device.
 	Iterations int
+	// PeakResidents is the maximum number of co-resident jobs the
+	// device held at once — the co-tenancy interference-aware admission
+	// buys (isolated admission caps it at what sum-of-peaks allows).
+	PeakResidents int
+	// SpillPeak is the high-water mark of the device's host-side spill
+	// pool (always zero without Cluster.CrossJob).
+	SpillPeak int64
 }
 
 // Result is the outcome of scheduling one trace on a cluster.
@@ -211,7 +233,13 @@ type Scheduler struct {
 	cluster Cluster
 	policy  Policy
 	est     *Estimator
+	lg      *slog.Logger
 }
+
+// SetLogger routes structured scheduling events (admissions,
+// preemptions, rejections, spill decisions) to lg; nil discards them.
+// Logging is observation only — it never affects the schedule.
+func (s *Scheduler) SetLogger(lg *slog.Logger) { s.lg = lg }
 
 // NewScheduler returns a scheduler placing jobs on the cluster under
 // the policy.
@@ -255,6 +283,7 @@ func (s *Scheduler) Run(jobs []Job) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	e.setLogger(s.lg)
 	// Dry-run every job's distinct shapes once for its admission
 	// estimate; jobs whose worst-case shape cannot fit an idle device
 	// are rejected up front. A dynamic job reserves its worst case for

@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"repro/internal/hw"
+	"repro/internal/memplan"
 	"repro/internal/sim"
 )
 
@@ -53,6 +54,14 @@ func EncodeSnapshot(inc *Incremental) []byte {
 		qstr(tp.NVLink.Name), fbits(tp.NVLink.BytesPerSec), int64(tp.NVLink.Latency),
 		qstr(tp.PCIe.Name), fbits(tp.PCIe.BytesPerSec), int64(tp.PCIe.Latency),
 		qstr(tp.Network.Name), fbits(tp.Network.BytesPerSec), int64(tp.Network.Latency))
+	// The plan record marks a CrossJob snapshot and carries the spill
+	// pool size; its absence restores the historical isolated admission,
+	// which is exactly what legacy snapshots ran under. Planner state is
+	// never serialized — restore re-admits each device's residents
+	// (rebuildPlanners), and purity guarantees the identical plan.
+	if e.crossjob {
+		fmt.Fprintf(&b, "plan %d\n", e.spillCap)
+	}
 	fmt.Fprintf(&b, "clock %d %d %d\n", int64(inc.mark), int64(e.now), e.doneSeq)
 	fmt.Fprintf(&b, "agg %d %d %d %d\n", e.finCount, e.rejCount, int64(e.sumJCT), int64(e.sumWait))
 
@@ -74,9 +83,24 @@ func EncodeSnapshot(inc *Incremental) []byte {
 		// Gang placement and all-reduce price, appended after the
 		// iteration times; the decoder accepts their absence (pre-gang
 		// snapshots). GradientBytes rides along so a restored gang
-		// re-prices identically after a preemption.
-		fmt.Fprintf(&b, " %s %d %d", intList(js.gang), int64(js.gangAR), js.est.GradientBytes)
+		// re-prices identically after a preemption, and the estimate's
+		// floor and spill traffic (newer still — the decoder accepts
+		// their absence too) so a re-admitted job plans identically.
+		fmt.Fprintf(&b, " %s %d %d %d %d", intList(js.gang), int64(js.gangAR), js.est.GradientBytes,
+			js.est.FloorBytes, js.est.SpillBytes)
 		b.WriteByte('\n')
+		// The demand record serializes the job's tensor-granularity
+		// planner demand directly rather than rebuilding it from the
+		// program at restore — a restored replay must not depend on
+		// model-zoo code (or pay its dry-run cost) to resume, and a
+		// hostile snapshot must not be able to steer a program build.
+		if e.crossjob && js.demand.Job != "" {
+			fmt.Fprintf(&b, "demand %d %d %d %d", i, js.demand.FloorBytes, js.demand.SpillBytes, len(js.demand.Tensors))
+			for _, td := range js.demand.Tensors {
+				fmt.Fprintf(&b, " %s %d %d %d", strconv.FormatUint(td.Key, 10), td.Bytes, td.Width, td.NextUse)
+			}
+			b.WriteByte('\n')
+		}
 	}
 
 	for i, d := range e.devs {
@@ -87,6 +111,9 @@ func EncodeSnapshot(inc *Incremental) []byte {
 		for _, r := range d.resident {
 			fmt.Fprintf(&b, " %d", r.seq)
 		}
+		// Co-tenancy high-water marks, appended after the residents; the
+		// decoder accepts their absence (older snapshots).
+		fmt.Fprintf(&b, " %d %d", d.maxRes, d.spillPeak)
 		b.WriteByte('\n')
 	}
 
@@ -157,6 +184,20 @@ func RestoreIncremental(data []byte, est *Estimator) (*Incremental, error) {
 		topo.PCIe = hw.LinkSpec{Name: r.unquote(f[7]), BytesPerSec: r.f64(f[8]), Latency: sim.Duration(r.i64(f[9]))}
 		topo.Network = hw.LinkSpec{Name: r.unquote(f[10]), BytesPerSec: r.f64(f[11]), Latency: sim.Duration(r.i64(f[12]))}
 	}
+	// Optional plan record: present exactly when the snapshot was taken
+	// under CrossJob. Legacy snapshots restore to isolated admission.
+	crossjob := false
+	var spillCap int64
+	if f := r.fieldsOpt("plan", 2); f != nil {
+		crossjob = true
+		if len(f) != 2 {
+			return nil, fmt.Errorf("sched: snapshot: plan record needs 2 fields, got %d", len(f))
+		}
+		spillCap = r.i64(f[1])
+		if r.err == nil && spillCap <= 0 {
+			return nil, fmt.Errorf("sched: snapshot: plan record with spill pool %d", spillCap)
+		}
+	}
 	f = r.fields("clock", 4)
 	if r.err != nil {
 		return nil, r.err
@@ -173,7 +214,8 @@ func RestoreIncremental(data []byte, est *Estimator) (*Incremental, error) {
 	sumJCT := sim.Duration(r.i64(f[3]))
 	sumWait := sim.Duration(r.i64(f[4]))
 
-	ex, err := newExec(Cluster{Device: spec, Devices: ndev, Topology: topo, Overlap: overlap}, policy, est)
+	ex, err := newExec(Cluster{Device: spec, Devices: ndev, Topology: topo, Overlap: overlap,
+		CrossJob: crossjob, HostSpillBytes: spillCap}, policy, est)
 	if err != nil {
 		if r.err != nil {
 			return nil, r.err
@@ -238,20 +280,56 @@ func RestoreIncremental(data []byte, est *Estimator) (*Incremental, error) {
 			break
 		}
 		rest := r.tail(14 + 1)
-		// Pre-gang snapshots end the record at the iteration times; new
-		// ones append the gang placement, its all-reduce price, and the
-		// gradient volume.
-		if len(rest) != nit && len(rest) != nit+3 {
+		// Pre-gang snapshots end the record at the iteration times;
+		// gang-era ones append the placement, its all-reduce price and
+		// the gradient volume; current ones also append the estimate's
+		// floor and spill traffic.
+		if len(rest) != nit && len(rest) != nit+3 && len(rest) != nit+5 {
 			return nil, fmt.Errorf("sched: snapshot: job %d: %d iteration times declared, %d fields present", i, nit, len(rest))
 		}
 		js.iterTimes = make([]sim.Duration, 0, nit)
 		for _, s := range rest[:nit] {
 			js.iterTimes = append(js.iterTimes, sim.Duration(r.i64(s)))
 		}
-		if len(rest) == nit+3 {
+		if len(rest) >= nit+3 {
 			js.gang = r.ints(rest[nit])
 			js.gangAR = sim.Duration(r.i64(rest[nit+1]))
 			js.est.GradientBytes = r.i64(rest[nit+2])
+		}
+		if len(rest) == nit+5 {
+			js.est.FloorBytes = r.i64(rest[nit+3])
+			js.est.SpillBytes = r.i64(rest[nit+4])
+		}
+		// Optional demand record: the job's planner demand under
+		// CrossJob, replayed verbatim so rebuildPlanners reproduces the
+		// paused plan bit for bit.
+		if f := r.fieldsOpt("demand", 5); f != nil {
+			if !crossjob {
+				return nil, fmt.Errorf("sched: snapshot: job %d has a demand record without a plan record", i)
+			}
+			if int(r.i64(f[1])) != i {
+				return nil, fmt.Errorf("sched: snapshot: demand record %s out of order (want %d)", f[1], i)
+			}
+			js.demand = memplan.Demand{
+				Job:        plannerID(js),
+				PeakBytes:  js.est.PeakBytes,
+				FloorBytes: r.i64(f[2]),
+				SpillBytes: r.i64(f[3]),
+				IterTime:   js.est.IterTime,
+			}
+			ntd := r.count(f, 4, 1<<16)
+			td := r.tail(5)
+			if r.err == nil && len(td) != 4*ntd {
+				return nil, fmt.Errorf("sched: snapshot: job %d: %d demand tensors declared, %d fields present", i, ntd, len(td))
+			}
+			for k := 0; k < ntd && r.err == nil; k++ {
+				js.demand.Tensors = append(js.demand.Tensors, memplan.TensorDemand{
+					Key:     r.u64(td[4*k]),
+					Bytes:   r.i64(td[4*k+1]),
+					Width:   int(r.i64(td[4*k+2])),
+					NextUse: int(r.i64(td[4*k+3])),
+				})
+			}
 		}
 		// Resume safety: these invariants are what the event loop
 		// relies on to never index out of range, so a corrupted
@@ -327,8 +405,15 @@ func RestoreIncremental(data []byte, est *Estimator) (*Incremental, error) {
 			break
 		}
 		rest := r.tail(12)
-		if len(rest) != nres {
+		// Older snapshots end at the residents; current ones append the
+		// co-tenancy and spill high-water marks.
+		if len(rest) != nres && len(rest) != nres+2 {
 			return nil, fmt.Errorf("sched: snapshot: dev %d: %d residents declared, %d present", i, nres, len(rest))
+		}
+		if len(rest) == nres+2 {
+			d.maxRes = int(r.i64(rest[nres]))
+			d.spillPeak = r.i64(rest[nres+1])
+			rest = rest[:nres]
 		}
 		for _, s := range rest {
 			js, err := jobAt(r.i64(s), "resident list")
@@ -353,6 +438,11 @@ func RestoreIncremental(data []byte, est *Estimator) (*Incremental, error) {
 			}
 		} else if d.rr != 0 {
 			return nil, fmt.Errorf("sched: snapshot: dev %d: round-robin cursor %d with no residents", i, d.rr)
+		}
+		// A high-water mark can never sit below the current residency
+		// (and legacy snapshots carry no mark at all).
+		if d.maxRes < len(d.resident) {
+			d.maxRes = len(d.resident)
 		}
 	}
 	if r.err != nil {
@@ -412,6 +502,12 @@ func RestoreIncremental(data []byte, est *Estimator) (*Incremental, error) {
 			return nil, r.err
 		}
 		return nil, fmt.Errorf("sched: snapshot: want end marker, got %q", line)
+	}
+	// Reconstruct the device planners from the restored residents and
+	// their demand records; a resident without a usable demand (a
+	// hand-crafted snapshot) surfaces here as an error, never a panic.
+	if err := ex.rebuildPlanners(); err != nil {
+		return nil, fmt.Errorf("sched: snapshot: %w", err)
 	}
 	return &Incremental{ex: ex, mark: mark}, nil
 }
@@ -570,6 +666,18 @@ func (r *snapReader) i64(s string) int64 {
 	v, err := strconv.ParseInt(s, 10, 64)
 	if err != nil {
 		r.fail("bad integer %q", s)
+		return 0
+	}
+	return v
+}
+
+func (r *snapReader) u64(s string) uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		r.fail("bad unsigned integer %q", s)
 		return 0
 	}
 	return v

@@ -1,0 +1,76 @@
+package workload
+
+// The bundled co-tenancy trace: the cross-job memory-planning
+// evaluation workload. Like the gang trace, everything here is pure
+// arithmetic over a fixed seed — the trace is a constant, and the
+// determinism gate replays it twice and compares byte for byte.
+
+// CoTenantClusterDevices is the cluster size CoTenantTrace targets:
+// two devices, so co-residency pressure — not placement choice — is
+// what the trace exercises.
+const CoTenantClusterDevices = 2
+
+// coShape is one distinct job shape of the co-tenant trace. The shapes
+// are chosen so dry-run peaks sit between 55% and 65% of a Tesla K40c
+// while persistent floors stay a few percent: under isolated
+// (sum-of-peaks) admission at most one big job fits a device, while an
+// interference-aware planner — which charges the worst case over the
+// running tenant plus the parked floors — co-locates several. The
+// dynamic shapes spike to their worst case only every few iterations,
+// so co-tenant peaks interleave rather than coincide.
+type coShape struct {
+	network  string
+	batch    int
+	schedule string // compact batch-schedule syntax, "" for static
+	manager  string
+}
+
+var coShapes = []coShape{
+	{"AlexNet", 512, "", "naive"},
+	{"ResNet50", 32, "", "naive"},
+	{"VGG16", 32, "", "caffe"},
+	{"AlexNet", 512, "128x2,512", "naive"},
+	{"AlexNet", 512, "64,512,128", "superneurons"},
+	{"ResNet50", 32, "8x3,32", "naive"},
+	{"AlexNet", 256, "", "naive"},
+	{"AlexNet", 256, "128,256x2", "vdnn"},
+}
+
+// CoTenantTrace generates the bundled 48-job co-tenancy trace for a
+// CoTenantClusterDevices-device cluster: a mix of static jobs and
+// dynamic-batch jobs whose worst-case peaks interleave. Arrivals come
+// in tight waves so several big jobs always contend for the same
+// device, which is exactly where isolated admission serializes and
+// cross-job planning stacks.
+func CoTenantTrace() []TraceJob {
+	seed := uint64(0xc0_7e9a97) ^ 0x9e3779b97f4a7c15
+	jobs := make([]TraceJob, 0, 48)
+	for i := 0; i < 48; i++ {
+		r := xorshift64(&seed)
+		shape := coShapes[r%uint64(len(coShapes))]
+		tj := TraceJob{
+			ID:         coJobID(i),
+			ArrivalMS:  int64(i/8)*1500 + int64((r>>16)%500),
+			Network:    shape.network,
+			Batch:      shape.batch,
+			Manager:    shape.manager,
+			Priority:   int((r >> 32) % 10),
+			Iterations: 2 + int((r>>40)%4),
+		}
+		if shape.schedule != "" {
+			sched, err := ParseSchedule(shape.schedule)
+			if err != nil {
+				panic("workload: bad built-in co-tenant schedule: " + err.Error())
+			}
+			tj.Batch = sched.Max()
+			tj.BatchSchedule = sched
+		}
+		jobs = append(jobs, tj)
+	}
+	return jobs
+}
+
+// coJobID names co-tenant-trace jobs c00..c47.
+func coJobID(i int) string {
+	return "c" + string([]byte{'0' + byte(i/10%10), '0' + byte(i%10)})
+}

@@ -308,6 +308,19 @@ func GangClusterTrace() []Job {
 	return sched.JobsFromTrace(workload.GangTrace())
 }
 
+// CoTenantClusterTrace returns the bundled 48-job co-tenancy trace for
+// a CoTenantClusterDevices-device cluster: arrival waves of large jobs
+// whose worst-case peaks interleave, built to separate isolated
+// admission from cross-job planning (snsched -cotenant replays it;
+// pair it with Cluster.CrossJob — see examples/crossjob).
+func CoTenantClusterTrace() []Job {
+	return sched.JobsFromTrace(workload.CoTenantTrace())
+}
+
+// CoTenantClusterDevices is the cluster size CoTenantClusterTrace
+// targets.
+const CoTenantClusterDevices = workload.CoTenantClusterDevices
+
 // CompareSchedulers replays the job stream on the cluster under every
 // built-in policy, in SchedulerPolicies() order.
 func CompareSchedulers(c Cluster, jobs []Job) ([]*ScheduleResult, error) {
