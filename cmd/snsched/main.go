@@ -6,39 +6,34 @@
 // The replay is fully deterministic: admission decisions use the
 // memmgr runtime's dry-run peak/iteration estimates and the cluster
 // runs in virtual time, so two invocations on the same trace produce
-// byte-identical output.
+// byte-identical output — including runs whose scenario scripts device
+// failures mid-flight.
 //
 // Usage:
 //
-//	snsched                         # bundled trace, all policies, 2x K40c
+//	snsched                         # static scenario, all policies, 2x K40c
+//	snsched -scenario list          # list the bundled scenarios
+//	snsched -scenario gang          # 1000 multi-GPU gangs, 256-device cluster
+//	snsched -scenario cotenant      # co-tenancy trace under cross-job planning
+//	snsched -scenario faults        # scripted device failures and recoveries
 //	snsched -trace jobs.trace       # replay a custom trace file
-//	snsched -dynamic                # bundled dynamic-batch trace
 //	snsched -policy packing -devices 4 -device titanxp
-//	snsched -gang                   # bundled 256-device gang trace
-//	snsched -gang -overlap -policy topo
-//	snsched -cotenant -crossjob     # co-tenancy trace under cross-job planning
-//	snsched -dump-trace             # print the bundled trace file
+//	snsched -scenario faults -dump-trace   # print a scenario's trace file
+//
+// Each scenario bundles a trace with the cluster it targets (size,
+// topology, all-reduce overlap, cross-job planning, fault plan);
+// -devices, -device and -trace override the pieces individually. A
+// trace file may script device faults alongside jobs
+// ("fault fail dev=4 at=1500", "fault recover dev=4 at=2s"); victims
+// restore from their last iteration-boundary checkpoint and multi-GPU
+// gangs shrink elastically to their surviving members when they can.
 //
 // Dynamic jobs declare a per-iteration batch schedule in the trace's
 // batch field ("128x2,512" runs two iterations at 128 then one at
 // 512); admission reserves the worst-case shape, so a ramping job can
-// never OOM its device mid-run.
-//
-// Multi-GPU jobs declare a gang size in the trace's optional gpus=N
-// field; -gang replays the bundled 1000-job gang trace on a 256-device
-// multi-node cluster (nodes of 8, NVLink islands of 4), where the
-// topology-aware "topo" policy packs gangs onto the fastest
-// interconnect tier that holds them. -overlap hides each gang's
-// bucketed all-reduce behind the backward pass.
-//
-// -crossjob plans co-resident jobs together per device instead of
-// admitting each against its worst case in isolation: one shared
-// host-side spill pool per device (-spill GiB) parks the persistent
-// floors of waiting tenants, and admission charges the worst single
-// tenant plus the parked floors — strictly more jobs per device, still
-// never an OOM. -cotenant replays the bundled 48-job co-tenancy trace
-// built to show the difference. -log-level emits the structured
-// admission/preemption/spill log on stderr.
+// never OOM its device mid-run. Multi-GPU jobs declare a gang size in
+// the trace's optional gpus=N field. -log-level emits the structured
+// admission/preemption/failure log on stderr.
 package main
 
 import (
@@ -59,16 +54,106 @@ import (
 
 type options struct {
 	tracePath string
-	dynamic   bool
-	gang      bool
-	cotenant  bool
-	crossjob  bool
-	spillGiB  int
-	overlap   bool
+	scenario  string
 	devices   int
 	device    string
 	policyArg string
 	logLevel  string
+}
+
+// scenario is one bundled preset: a trace plus the cluster shape it
+// was built for.
+type scenario struct {
+	name string
+	desc string
+	// jobs/faults produce the bundled trace; devices is the cluster
+	// size the trace targets; options assemble the cluster (topology,
+	// overlap, cross-job planning, fault plan) via sched.NewCluster.
+	jobs    func() ([]workload.TraceJob, []workload.TraceFault)
+	devices int
+	opts    func(faults []workload.TraceFault) []sched.Option
+}
+
+// plain wraps a fault-free bundled trace.
+func plain(f func() []workload.TraceJob) func() ([]workload.TraceJob, []workload.TraceFault) {
+	return func() ([]workload.TraceJob, []workload.TraceFault) { return f(), nil }
+}
+
+// faultOpt converts trace fault events into the cluster option; it is
+// a no-op for fault-free traces, so every scenario threads it.
+func faultOpt(faults []workload.TraceFault) []sched.Option {
+	if len(faults) == 0 {
+		return nil
+	}
+	return []sched.Option{sched.WithFaultPlan(sched.FaultsFromTrace(faults))}
+}
+
+// scenarios lists the bundled presets in listing order.
+var scenarios = []scenario{
+	{
+		name: "static", desc: "bundled multi-tenant trace on 2 devices (the default)",
+		jobs: plain(workload.DefaultTrace), devices: 2, opts: faultOpt,
+	},
+	{
+		name: "dynamic", desc: "dynamic per-iteration batch schedules, worst-case admission",
+		jobs: plain(workload.DefaultDynamicTrace), devices: 2, opts: faultOpt,
+	},
+	{
+		name: "gang", desc: "1000 multi-GPU gangs on a 256-device multi-node cluster, overlapped all-reduce",
+		jobs: plain(workload.GangTrace), devices: workload.GangClusterDevices,
+		opts: func(faults []workload.TraceFault) []sched.Option {
+			return append([]sched.Option{sched.WithTopology(hw.DefaultTopology()), sched.WithOverlap()},
+				faultOpt(faults)...)
+		},
+	},
+	{
+		name: "cotenant", desc: "co-tenancy arrival waves under interference-aware cross-job planning (8 GiB spill)",
+		jobs: plain(workload.CoTenantTrace), devices: workload.CoTenantClusterDevices,
+		opts: func(faults []workload.TraceFault) []sched.Option {
+			return append([]sched.Option{sched.WithCrossJob(8 * hw.GiB)}, faultOpt(faults)...)
+		},
+	},
+	{
+		name: "crossjob", desc: "the static trace under cross-job planning (default spill pool)",
+		jobs: plain(workload.DefaultTrace), devices: 2,
+		opts: func(faults []workload.TraceFault) []sched.Option {
+			return append([]sched.Option{sched.WithCrossJob(0)}, faultOpt(faults)...)
+		},
+	},
+	{
+		name: "faults", desc: "scripted device failures: checkpoint restores and elastic gang shrink on 8 devices",
+		jobs: workload.FaultTrace, devices: workload.FaultClusterDevices,
+		opts: func(faults []workload.TraceFault) []sched.Option {
+			return append([]sched.Option{sched.WithTopology(hw.DefaultTopology()), sched.WithOverlap()},
+				faultOpt(faults)...)
+		},
+	},
+}
+
+func scenarioByName(name string) (scenario, bool) {
+	for _, s := range scenarios {
+		if s.name == name {
+			return s, true
+		}
+	}
+	return scenario{}, false
+}
+
+func scenarioNames() string {
+	names := make([]string, len(scenarios))
+	for i, s := range scenarios {
+		names[i] = s.name
+	}
+	return strings.Join(names, ", ")
+}
+
+// listScenarios renders the -scenario list table.
+func listScenarios(w io.Writer) {
+	t := metrics.NewTable("bundled scenarios (-scenario NAME)", "name", "devices", "description")
+	for _, s := range scenarios {
+		t.Add(s.name, fmt.Sprint(s.devices), s.desc)
+	}
+	fmt.Fprintln(w, t.String())
 }
 
 func main() {
@@ -78,31 +163,27 @@ func main() {
 		o    options
 		dump bool
 	)
-	flag.StringVar(&o.tracePath, "trace", "", "trace file (default: the bundled multi-tenant trace)")
-	flag.BoolVar(&o.dynamic, "dynamic", false, "replay the bundled dynamic-batch trace instead of the static default")
-	flag.BoolVar(&o.gang, "gang", false, "replay the bundled multi-GPU gang trace on a 256-device multi-node cluster")
-	flag.BoolVar(&o.cotenant, "cotenant", false, "replay the bundled co-tenancy trace (pairs naturally with -crossjob)")
-	flag.BoolVar(&o.crossjob, "crossjob", false, "plan co-resident jobs together per device (interference-aware admission with host-side floor spilling)")
-	flag.IntVar(&o.spillGiB, "spill", 0, "per-device host spill pool in GiB under -crossjob (0 selects the 64 GiB default)")
-	flag.BoolVar(&o.overlap, "overlap", false, "overlap gang all-reduce with backward compute")
-	flag.IntVar(&o.devices, "devices", 0, "number of GPUs in the cluster (default 2, or 256 with -gang)")
+	flag.StringVar(&o.scenario, "scenario", "static",
+		"bundled scenario: "+scenarioNames()+" (or list)")
+	flag.StringVar(&o.tracePath, "trace", "", "trace file replacing the scenario's bundled trace (may script fault events)")
+	flag.IntVar(&o.devices, "devices", 0, "number of GPUs in the cluster (default: the scenario's size)")
 	flag.StringVar(&o.device, "device", "k40c", "device profile: k40c or titanxp")
 	flag.StringVar(&o.policyArg, "policy", "all", "scheduler policy: fifo, priority, packing, topo or all")
 	flag.StringVar(&o.logLevel, "log-level", "", "structured scheduling log on stderr: debug, info, warn or error (default: off)")
-	flag.BoolVar(&dump, "dump-trace", false, "print the bundled trace in the trace-file format and exit")
+	flag.BoolVar(&dump, "dump-trace", false, "print the scenario's bundled trace in the trace-file format and exit")
 	flag.Parse()
 
+	if o.scenario == "list" {
+		listScenarios(os.Stdout)
+		return
+	}
 	if dump {
-		switch {
-		case o.gang:
-			fmt.Print(workload.FormatTrace(workload.GangTrace()))
-		case o.cotenant:
-			fmt.Print(workload.FormatTrace(workload.CoTenantTrace()))
-		case o.dynamic:
-			fmt.Print(workload.FormatTrace(workload.DefaultDynamicTrace()))
-		default:
-			fmt.Print(workload.FormatTrace(workload.DefaultTrace()))
+		sc, ok := scenarioByName(o.scenario)
+		if !ok {
+			log.Fatalf("unknown scenario %q (have %s, list)", o.scenario, scenarioNames())
 		}
+		jobs, faults := sc.jobs()
+		fmt.Print(workload.FormatTraceEvents(jobs, faults))
 		return
 	}
 	if err := run(o, os.Stdout); err != nil {
@@ -111,20 +192,16 @@ func main() {
 }
 
 func run(o options, w io.Writer) error {
-	trace := workload.DefaultTrace()
-	switch {
-	case o.gang:
-		trace = workload.GangTrace()
-	case o.cotenant:
-		trace = workload.CoTenantTrace()
-	case o.dynamic:
-		trace = workload.DefaultDynamicTrace()
+	if o.scenario == "" {
+		o.scenario = "static"
 	}
+	sc, ok := scenarioByName(o.scenario)
+	if !ok {
+		return fmt.Errorf("unknown scenario %q (have %s, list)", o.scenario, scenarioNames())
+	}
+	trace, faults := sc.jobs()
 	if o.devices <= 0 {
-		o.devices = 2
-		if o.gang {
-			o.devices = workload.GangClusterDevices
-		}
+		o.devices = sc.devices
 	}
 	if o.tracePath != "" {
 		f, err := os.Open(o.tracePath)
@@ -135,8 +212,8 @@ func run(o options, w io.Writer) error {
 		// A malformed trace is a user error: fail with the file and the
 		// offending line (the parser names it, and a gang wider than the
 		// cluster dies here, not hours into the replay), never a bare
-		// message.
-		if trace, err = workload.ParseTraceLimit(f, o.devices); err != nil {
+		// message. Fault events ride in the same file.
+		if trace, faults, err = workload.ParseTraceEvents(f, o.devices); err != nil {
 			return fmt.Errorf("%s: %w", o.tracePath, err)
 		}
 	}
@@ -150,10 +227,9 @@ func run(o options, w io.Writer) error {
 	default:
 		return fmt.Errorf("unknown device %q (have k40c, titanxp)", o.device)
 	}
-	cluster := sched.Cluster{Device: dev, Devices: o.devices, Overlap: o.overlap,
-		CrossJob: o.crossjob, HostSpillBytes: int64(o.spillGiB) * hw.GiB}
-	if o.gang {
-		cluster.Topology = hw.DefaultTopology()
+	cluster, err := sched.NewCluster(sched.Uniform(dev, o.devices), sc.opts(faults)...)
+	if err != nil {
+		return err
 	}
 	jobs := sched.JobsFromTrace(trace)
 
@@ -168,7 +244,6 @@ func run(o options, w io.Writer) error {
 
 	var results []*sched.Result
 	if o.policyArg == "all" {
-		var err error
 		if results, err = policy.CompareSchedulers(cluster, jobs); err != nil {
 			return err
 		}
@@ -189,8 +264,12 @@ func run(o options, w io.Writer) error {
 		results = []*sched.Result{r}
 	}
 
-	fmt.Fprintf(w, "cluster: %d x %s (%.2f GiB usable each), %d jobs\n\n",
-		cluster.Devices, dev.Name, float64(cluster.Capacity())/(1<<30), len(jobs))
+	fmt.Fprintf(w, "scenario %s: %d x %s (%.2f GiB usable each), %d jobs",
+		o.scenario, cluster.Devices, dev.Name, float64(cluster.Capacity())/(1<<30), len(jobs))
+	if n := len(faults); n > 0 {
+		fmt.Fprintf(w, ", %d fault events", n)
+	}
+	fmt.Fprint(w, "\n\n")
 	for _, r := range results {
 		render(w, r)
 	}
@@ -200,8 +279,10 @@ func run(o options, w io.Writer) error {
 	return nil
 }
 
-// render prints one policy's per-job and per-device tables.
+// render prints one policy's per-job and per-device tables, plus the
+// fault-recovery table when the run scripted device faults.
 func render(w io.Writer, r *sched.Result) {
+	faulted := !r.Cluster.Faults.Empty()
 	jt := metrics.NewTable(fmt.Sprintf("policy %s: per-job schedule", r.Policy),
 		"job", "network", "batch", "manager", "prio", "gpu", "arrival", "wait", "jct", "preempt")
 	for _, j := range r.Jobs {
@@ -221,30 +302,60 @@ func render(w io.Writer, r *sched.Result) {
 	}
 	fmt.Fprintln(w, jt.String())
 
-	dt := metrics.NewTable(fmt.Sprintf("policy %s: per-device utilization", r.Policy),
-		"gpu", "busy", "busy%", "peak reserved MiB", "mem util%", "residents", "spill MiB", "iterations")
+	if faulted {
+		ft := metrics.NewTable(fmt.Sprintf("policy %s: fault recovery", r.Policy),
+			"job", "restores", "shrinks", "lost iters", "final placement")
+		for _, j := range r.Jobs {
+			if j.Restores+j.Shrinks+j.LostIterations == 0 {
+				continue
+			}
+			ft.Add(j.ID, fmt.Sprint(j.Restores), fmt.Sprint(j.Shrinks),
+				fmt.Sprint(j.LostIterations), gangLabel(j))
+		}
+		fmt.Fprintln(w, ft.String())
+	}
+
+	cols := []string{"gpu", "busy", "busy%", "peak reserved MiB", "mem util%", "residents", "spill MiB", "iterations"}
+	if faulted {
+		cols = append(cols, "fails", "downtime")
+	}
+	dt := metrics.NewTable(fmt.Sprintf("policy %s: per-device utilization", r.Policy), cols...)
 	for i, d := range r.Devices {
-		dt.Add(fmt.Sprint(i), d.Busy.String(), pct(d.BusyFrac), metrics.MiB(d.PeakReserved),
+		row := []string{fmt.Sprint(i), d.Busy.String(), pct(d.BusyFrac), metrics.MiB(d.PeakReserved),
 			pct(d.MemUtil), fmt.Sprint(d.PeakResidents), metrics.MiB(d.SpillPeak),
-			fmt.Sprint(d.Iterations))
+			fmt.Sprint(d.Iterations)}
+		if faulted {
+			row = append(row, fmt.Sprint(d.Failures), d.Downtime.String())
+		}
+		dt.Add(row...)
 	}
 	fmt.Fprintln(w, dt.String())
 }
 
 // renderComparison prints the policy-vs-policy summary.
 func renderComparison(w io.Writer, results []*sched.Result) {
-	t := metrics.NewTable("scheduler policy comparison",
-		"policy", "makespan", "cluster mem util%", "compute util%", "mean jct", "mean wait", "preemptions", "rejected")
+	faulted := len(results) > 0 && !results[0].Cluster.Faults.Empty()
+	cols := []string{"policy", "makespan", "cluster mem util%", "compute util%", "mean jct", "mean wait", "preemptions", "rejected"}
+	if faulted {
+		cols = append(cols, "restores", "shrinks")
+	}
+	t := metrics.NewTable("scheduler policy comparison", cols...)
 	for _, r := range results {
-		pre, rej := 0, 0
+		pre, rej, res, shr := 0, 0, 0, 0
 		for _, j := range r.Jobs {
 			pre += j.Preemptions
+			res += j.Restores
+			shr += j.Shrinks
 			if j.Rejected {
 				rej++
 			}
 		}
-		t.Add(r.Policy, r.Makespan.String(), pct(r.Utilization), pct(r.ComputeUtilization),
-			r.MeanJCT().String(), r.MeanWait().String(), fmt.Sprint(pre), fmt.Sprint(rej))
+		row := []string{r.Policy, r.Makespan.String(), pct(r.Utilization), pct(r.ComputeUtilization),
+			r.MeanJCT().String(), r.MeanWait().String(), fmt.Sprint(pre), fmt.Sprint(rej)}
+		if faulted {
+			row = append(row, fmt.Sprint(res), fmt.Sprint(shr))
+		}
+		t.Add(row...)
 	}
 	fmt.Fprintln(w, t.String())
 }

@@ -110,7 +110,7 @@ func TestRunRejectsBadFlags(t *testing.T) {
 // per-iteration batch schedules in the job table.
 func TestDynamicReplayDeterministic(t *testing.T) {
 	var a, b bytes.Buffer
-	opts := options{dynamic: true, devices: 2, device: "k40c", policyArg: "all"}
+	opts := options{scenario: "dynamic", devices: 2, device: "k40c", policyArg: "all"}
 	if err := run(opts, &a); err != nil {
 		t.Fatal(err)
 	}
@@ -136,10 +136,10 @@ func TestDynamicTraceFileMatchesBundled(t *testing.T) {
 		t.Fatal(err)
 	}
 	var fromFile, bundled bytes.Buffer
-	if err := run(options{tracePath: path, devices: 2, device: "k40c", policyArg: "packing"}, &fromFile); err != nil {
+	if err := run(options{scenario: "dynamic", tracePath: path, devices: 2, device: "k40c", policyArg: "packing"}, &fromFile); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(options{dynamic: true, devices: 2, device: "k40c", policyArg: "packing"}, &bundled); err != nil {
+	if err := run(options{scenario: "dynamic", devices: 2, device: "k40c", policyArg: "packing"}, &bundled); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(fromFile.Bytes(), bundled.Bytes()) {
@@ -152,7 +152,7 @@ func TestDynamicTraceFileMatchesBundled(t *testing.T) {
 // and renders gang placements in the job table.
 func TestGangReplayDeterministic(t *testing.T) {
 	var a, b bytes.Buffer
-	opts := options{gang: true, overlap: true, device: "k40c", policyArg: "topo"}
+	opts := options{scenario: "gang", device: "k40c", policyArg: "topo"}
 	if err := run(opts, &a); err != nil {
 		t.Fatal(err)
 	}
@@ -185,5 +185,99 @@ func TestGangWiderThanClusterFailsAtParse(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "line 2") || !strings.Contains(err.Error(), "gang needs 3 devices") {
 		t.Errorf("error %q does not name the line and the gang width", err)
+	}
+}
+
+// The faults scenario is the headline failure demo: two replays are
+// byte-identical (the CLI half of the fault determinism gate), the
+// fault-recovery and downtime tables render, and no job is lost.
+func TestFaultScenarioReplayDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	opts := options{scenario: "faults", device: "k40c", policyArg: "all"}
+	if err := run(opts, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(opts, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("two fault replays differ:\n--- first\n%s\n--- second\n%s", a.String(), b.String())
+	}
+	out := a.String()
+	for _, want := range []string{"3 fault events", "fault recovery", "restores", "shrinks",
+		"lost iters", "downtime", "gang-resnet"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	if strings.Contains(out, "rejected\n") {
+		t.Error("fault scenario rejected a job")
+	}
+}
+
+// -scenario selects the preset cluster; unknown names fail loudly and
+// name the choices.
+func TestScenarioSelection(t *testing.T) {
+	err := run(options{scenario: "nope", device: "k40c", policyArg: "all"}, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "unknown scenario") ||
+		!strings.Contains(err.Error(), "faults") {
+		t.Errorf("unknown scenario error %v does not list the presets", err)
+	}
+	var out bytes.Buffer
+	if err := run(options{scenario: "cotenant", device: "k40c", policyArg: "packing"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "scenario cotenant") {
+		t.Error("cotenant scenario header missing")
+	}
+	// Every preset replays cleanly end to end under one policy.
+	for _, sc := range scenarios {
+		if sc.name == "gang" {
+			continue // exercised by TestGangReplayDeterministic (256 devices)
+		}
+		if err := run(options{scenario: sc.name, device: "k40c", policyArg: "topo"}, &bytes.Buffer{}); err != nil {
+			t.Errorf("scenario %s: %v", sc.name, err)
+		}
+	}
+	listScenarios(&out)
+	for _, sc := range scenarios {
+		if !strings.Contains(out.String(), sc.name) {
+			t.Errorf("scenario list missing %s", sc.name)
+		}
+	}
+}
+
+// A custom trace file may script fault events; the faults fire exactly
+// as a scenario's bundled plan would, and a malformed fault line fails
+// at parse time naming the file, the line and the token.
+func TestTraceFileFaultEvents(t *testing.T) {
+	jobs, faults := workload.FaultTrace()
+	path := filepath.Join(t.TempDir(), "faults.trace")
+	if err := os.WriteFile(path, []byte(workload.FormatTraceEvents(jobs, faults)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var fromFile, bundled bytes.Buffer
+	if err := run(options{scenario: "faults", tracePath: path, device: "k40c", policyArg: "topo"}, &fromFile); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(options{scenario: "faults", device: "k40c", policyArg: "topo"}, &bundled); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fromFile.Bytes(), bundled.Bytes()) {
+		t.Error("replaying the formatted fault trace from a file differs from the bundled scenario")
+	}
+
+	bad := filepath.Join(t.TempDir(), "bad.trace")
+	if err := os.WriteFile(bad, []byte("a 0 AlexNet 16 naive 1 1\nfault explode dev=0 at=5\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run(options{scenario: "static", tracePath: bad, device: "k40c", policyArg: "packing"}, &bytes.Buffer{})
+	if err == nil {
+		t.Fatal("malformed fault line accepted")
+	}
+	for _, want := range []string{bad, "line 2", `"explode"`} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
 	}
 }

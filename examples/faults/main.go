@@ -1,0 +1,96 @@
+// Faults: script device failures into a deterministic replay and
+// watch the cluster absorb them without losing a job.
+//
+// The fault layer delivers scripted fail/recover events through the
+// same virtual-time event queue as arrivals and iteration
+// completions, so a faulted replay is exactly as deterministic as a
+// healthy one. Failure semantics are checkpoint/restore at iteration
+// boundaries: every completed iteration is an implicit checkpoint,
+// victims abort the in-flight iteration (lost and counted) and resume
+// from the boundary. A multi-GPU gang first tries an elastic shrink
+// onto its surviving members — re-pricing its all-reduce over the
+// smaller topology subset — and only re-enters admission when nothing
+// survives.
+//
+// The bundled fault trace runs six jobs on an eight-device cluster
+// and kills two devices mid-flight: device 4 permanently at 1.5s
+// (displacing two singles), device 2 at 2s with recovery at 4s (in
+// time to catch a late arrival). The four-wide ResNet gang loses a
+// member and shrinks to three. Zero jobs are lost.
+package main
+
+import (
+	"fmt"
+	"log"
+	"reflect"
+
+	superneurons "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	jobs, plan := superneurons.FaultClusterTrace()
+	devices := superneurons.UniformCluster(superneurons.TeslaK40c, superneurons.FaultClusterDevices)
+	cluster, err := superneurons.NewCluster(devices,
+		superneurons.WithClusterTopology(superneurons.DefaultClusterTopology()),
+		superneurons.WithAllReduceOverlap(),
+		superneurons.WithFaultPlan(plan),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cluster: %d x %s (%.2f GiB usable each), %d jobs, %d fault events\n\n",
+		cluster.Devices, cluster.Device.Name, float64(cluster.Capacity())/(1<<30),
+		len(jobs), len(plan.Events))
+	for _, fe := range plan.Events {
+		verb := "fails"
+		if fe.Recover {
+			verb = "recovers"
+		}
+		fmt.Printf("  t=%6.1fs  device %d %s\n", float64(fe.At)/1e9, fe.Device, verb)
+	}
+
+	run := func() *superneurons.ScheduleResult {
+		s, err := superneurons.NewScheduler(cluster, superneurons.SchedTopoPacking)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r, err := s.Run(jobs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return r
+	}
+	r := run()
+
+	fmt.Println("\nper-job recovery:")
+	for _, j := range r.Jobs {
+		if j.Rejected {
+			log.Fatalf("job %s rejected: %s (the fault trace loses no jobs)", j.ID, j.Reason)
+		}
+		placement := fmt.Sprintf("device %d", j.Device)
+		if len(j.Gang) > 0 {
+			placement = fmt.Sprintf("gang %v", j.Gang)
+		}
+		fmt.Printf("  %-12s %d restores, %d shrinks, %d lost iterations, finished on %s\n",
+			j.ID, j.Restores, j.Shrinks, j.LostIterations, placement)
+	}
+
+	fmt.Println("\nper-device outages:")
+	for di, d := range r.Devices {
+		if d.Failures == 0 {
+			continue
+		}
+		fmt.Printf("  device %d: %d failure(s), %v down, %d iterations executed\n",
+			di, d.Failures, d.Downtime, d.Iterations)
+	}
+
+	// The determinism contract survives the faults: a second run of the
+	// same trace through the same plan is identical in every field.
+	if !reflect.DeepEqual(run(), r) {
+		log.Fatal("two faulted replays diverged")
+	}
+	fmt.Printf("\nmakespan %v; a second replay is identical — failures, shrinks\n", r.Makespan)
+	fmt.Println("and restores are as replayable as the schedule itself.")
+}

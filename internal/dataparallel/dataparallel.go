@@ -113,6 +113,19 @@ func GangAllReduce(link hw.LinkSpec, bytes int64, k, buckets int) sim.Duration {
 	return total
 }
 
+// PriceGang prices a placed gang's per-iteration collective: the
+// bucketed ring all-reduce of the replica gradient across the gang,
+// set by the slowest pairwise link inside it. Admission and elastic
+// gang shrink both route through it, so a shrunk gang is re-priced by
+// exactly the rule that priced it at admission — over the surviving
+// topology subset. A gang of one (or none) has no collective.
+func PriceGang(topo hw.Topology, gang []int, gradientBytes int64, buckets int) sim.Duration {
+	if len(gang) <= 1 {
+		return 0
+	}
+	return GangAllReduce(topo.SlowestLink(gang), gradientBytes, len(gang), buckets)
+}
+
 // ExposedAllReduce is the overlap model: with overlap enabled, the
 // bucketed exchange hides behind the backward half of the iteration
 // (gradients materialize back-to-front through backprop, so roughly

@@ -96,3 +96,46 @@ func TestGangPlacementPricesBySlowestTier(t *testing.T) {
 		t.Errorf("island iteration %v not below cross-node %v", island.IterTime, crossNode.IterTime)
 	}
 }
+
+// PriceGang is the single pricing rule both admission and elastic
+// shrink apply: zero for a single device, the slowest-tier bucketed
+// exchange otherwise — so a shrunk gang is re-priced exactly as a
+// freshly admitted gang of the same placement would be.
+func TestPriceGang(t *testing.T) {
+	topo := hw.DefaultTopology()
+	bytes := int64(256 << 20)
+
+	if got := PriceGang(topo, nil, bytes, DefaultBuckets); got != 0 {
+		t.Errorf("empty gang priced %v", got)
+	}
+	if got := PriceGang(topo, []int{3}, bytes, DefaultBuckets); got != 0 {
+		t.Errorf("single-device gang priced %v", got)
+	}
+
+	island := []int{0, 1, 2, 3}
+	if got, want := PriceGang(topo, island, bytes, DefaultBuckets),
+		GangAllReduce(topo.SlowestLink(island), bytes, 4, DefaultBuckets); got != want {
+		t.Errorf("island gang priced %v, want %v", got, want)
+	}
+
+	// Dropping a member from an NVLink island keeps the tier but
+	// shrinks the ring: the survivors' price is a fresh 3-wide pricing,
+	// never a stale 4-wide one.
+	survivors := []int{0, 1, 3}
+	got := PriceGang(topo, survivors, bytes, DefaultBuckets)
+	if want := GangAllReduce(topo.SlowestLink(survivors), bytes, 3, DefaultBuckets); got != want {
+		t.Errorf("survivor gang priced %v, want %v", got, want)
+	}
+	if full := PriceGang(topo, island, bytes, DefaultBuckets); got >= full {
+		t.Errorf("3 survivors cost %v, not below the 4-wide %v", got, full)
+	}
+
+	// A gang spanning islands prices by the slower tier, so losing the
+	// only cross-island member makes the survivors strictly cheaper.
+	spanning := []int{2, 3, 4}
+	inIsland := []int{2, 3}
+	if a, b := PriceGang(topo, spanning, bytes, DefaultBuckets),
+		PriceGang(topo, inIsland, bytes, DefaultBuckets); b >= a {
+		t.Errorf("intra-island survivors %v not cheaper than spanning gang %v", b, a)
+	}
+}

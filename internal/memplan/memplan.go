@@ -284,6 +284,11 @@ func validate(d Demand) error {
 	return nil
 }
 
+// Member reports whether job is currently planned on this device —
+// the membership probe an elastic gang shrink runs on every surviving
+// member before committing to the smaller gang.
+func (p *Planner) Member(job string) bool { return p.find(job) >= 0 }
+
 // find returns the member index of job, or -1.
 func (p *Planner) find(job string) int {
 	for i := range p.members {

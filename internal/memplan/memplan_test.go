@@ -348,3 +348,33 @@ func TestValidation(t *testing.T) {
 func demandWithFloor(job string, peakGiB, floorGiB int64) Demand {
 	return Demand{Job: job, PeakBytes: peakGiB * gib, FloorBytes: floorGiB * gib}
 }
+
+// Member is the elastic-shrink membership probe: true exactly for jobs
+// currently planned on the device, through admission and release.
+func TestMember(t *testing.T) {
+	p := mustPlanner(t, 12, 16)
+	if p.Member("a") {
+		t.Error("empty planner claims a member")
+	}
+	if _, err := p.Admit(demand("a", 7, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Admit(demand("b", 3, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Member("a") || !p.Member("b") {
+		t.Error("admitted jobs not reported as members")
+	}
+	if p.Member("c") {
+		t.Error("never-admitted job reported as member")
+	}
+	if err := p.Release("a"); err != nil {
+		t.Fatal(err)
+	}
+	if p.Member("a") {
+		t.Error("released job still a member")
+	}
+	if !p.Member("b") {
+		t.Error("release of a evicted b's membership")
+	}
+}

@@ -32,12 +32,17 @@ type Incremental struct {
 	mark sim.Time
 }
 
-// NewIncremental returns an empty paused replay over the cluster.
+// NewIncremental returns an empty paused replay over the cluster. The
+// cluster's fault plan is posted up front — fault events fire as the
+// watermark passes them, exactly as in a batch run (snapshot restore
+// bypasses this constructor; a restored queue already carries the
+// undelivered fault events).
 func NewIncremental(c Cluster, p Policy, est *Estimator) (*Incremental, error) {
 	ex, err := newExec(c, p, est)
 	if err != nil {
 		return nil, err
 	}
+	ex.postFaults()
 	return &Incremental{ex: ex}, nil
 }
 

@@ -292,6 +292,20 @@ func FuzzRestoreIncremental(f *testing.F) {
 	}
 	inc.AdvanceTo(sim.Time(70 * sim.Millisecond))
 	f.Add(EncodeSnapshot(inc))
+	// A mid-outage seed: a failed device, a shrunk gang and a queued
+	// recovery event exercise the fault extensions of the format.
+	fcl, fjobs := faultCluster(f)
+	finc, err := NewIncremental(fcl, TopoPacking, nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, j := range fjobs {
+		if _, err := finc.Append(j); err != nil {
+			f.Fatal(err)
+		}
+	}
+	finc.AdvanceTo(sim.Time(2500 * sim.Millisecond))
+	f.Add(EncodeSnapshot(finc))
 	f.Add([]byte(snapMagic + "\npolicy fifo\n"))
 	f.Add([]byte("snsnap 1\npolicy packing\ndevice d 1 1 0x0 0x0 0 0 0 0 0x3ff0000000000000 0x3ff0000000000000\ndevices 1\nclock 0 0 0\nagg 0 0 0 0\njobs 0\ndev 0 0 0 0 0 0 0 0 0x0 0\npending 0\nevents 0\nend\n"))
 	f.Fuzz(func(t *testing.T, data []byte) {

@@ -1,0 +1,87 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/hw"
+)
+
+// Option configures a Cluster assembled by NewCluster.
+type Option func(*Cluster)
+
+// NewCluster assembles a Cluster from per-device specs and functional
+// options — the constructor path over bare struct-literal field
+// poking, which keeps working (the zero value of every option field is
+// the historical default, and NewCluster applies no option the caller
+// does not pass, so an option-built cluster compares equal to the
+// matching literal). The specs must be non-empty and homogeneous: the
+// cluster model is a uniform pool, so heterogeneous specs are an
+// error, never a silent first-spec-wins.
+func NewCluster(devices []hw.DeviceSpec, opts ...Option) (Cluster, error) {
+	if len(devices) == 0 {
+		return Cluster{}, fmt.Errorf("sched: cluster needs at least one device spec")
+	}
+	for i, d := range devices[1:] {
+		if d != devices[0] {
+			return Cluster{}, fmt.Errorf("sched: heterogeneous cluster: device %d (%q) differs from device 0 (%q)",
+				i+1, d.Name, devices[0].Name)
+		}
+	}
+	c := Cluster{Device: devices[0], Devices: len(devices)}
+	for _, opt := range opts {
+		opt(&c)
+	}
+	if c.Device.UsableBytes <= 0 {
+		return Cluster{}, fmt.Errorf("sched: device %q has no usable memory", c.Device.Name)
+	}
+	if err := c.Faults.Validate(c.Devices); err != nil {
+		return Cluster{}, err
+	}
+	return c, nil
+}
+
+// Uniform expands one device spec into an n-device pool for
+// NewCluster.
+func Uniform(spec hw.DeviceSpec, n int) []hw.DeviceSpec {
+	if n < 0 {
+		n = 0
+	}
+	out := make([]hw.DeviceSpec, n)
+	for i := range out {
+		out[i] = spec
+	}
+	return out
+}
+
+// WithTopology classifies the pool's device pairs into interconnect
+// tiers (NVLink island / same-node PCIe / cross-node network) for gang
+// placement and all-reduce pricing.
+func WithTopology(t hw.Topology) Option {
+	return func(c *Cluster) { c.Topology = t }
+}
+
+// WithOverlap overlaps each gang's gradient all-reduce with the
+// backward half of its iteration; without it gangs serialize compute
+// then communicate.
+func WithOverlap() Option {
+	return func(c *Cluster) { c.Overlap = true }
+}
+
+// WithCrossJob enables interference-aware cross-job admission
+// (internal/memplan) with a per-device host spill pool of spillBytes
+// (0 selects the 64 GiB default).
+func WithCrossJob(spillBytes int64) Option {
+	return func(c *Cluster) {
+		c.CrossJob = true
+		c.HostSpillBytes = spillBytes
+	}
+}
+
+// WithFaultPlan scripts the cluster's deterministic fault layer: the
+// plan's device failures and recoveries fire through the event queue,
+// victims restore from iteration-boundary checkpoints, and gangs
+// shrink elastically to surviving members when they can (fault.go).
+// NewCluster validates the plan against the pool size.
+func WithFaultPlan(p FaultPlan) Option {
+	return func(c *Cluster) { c.Faults = p }
+}

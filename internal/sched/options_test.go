@@ -1,0 +1,101 @@
+package sched
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/hw"
+)
+
+// TestNewClusterMatchesLiterals: the constructor path is sugar, not a
+// new semantic — an option-built cluster compares equal to the
+// matching struct literal, field for field.
+func TestNewClusterMatchesLiterals(t *testing.T) {
+	plan := FaultPlan{Events: []FaultEvent{{At: ms(100), Device: 1}}}
+	cases := map[string]struct {
+		devices []hw.DeviceSpec
+		opts    []Option
+		want    Cluster
+	}{
+		"bare pool": {
+			Uniform(hw.TeslaK40c, 4), nil,
+			Cluster{Device: hw.TeslaK40c, Devices: 4},
+		},
+		"single device": {
+			[]hw.DeviceSpec{hw.TeslaK40c}, nil,
+			Cluster{Device: hw.TeslaK40c, Devices: 1},
+		},
+		"topology and overlap": {
+			Uniform(hw.TeslaK40c, 8),
+			[]Option{WithTopology(hw.DefaultTopology()), WithOverlap()},
+			Cluster{Device: hw.TeslaK40c, Devices: 8, Topology: hw.DefaultTopology(), Overlap: true},
+		},
+		"cross-job": {
+			Uniform(hw.TeslaK40c, 2),
+			[]Option{WithCrossJob(8 * hw.GiB)},
+			Cluster{Device: hw.TeslaK40c, Devices: 2, CrossJob: true, HostSpillBytes: 8 * hw.GiB},
+		},
+		"cross-job default pool": {
+			Uniform(hw.TeslaK40c, 2),
+			[]Option{WithCrossJob(0)},
+			Cluster{Device: hw.TeslaK40c, Devices: 2, CrossJob: true},
+		},
+		"everything": {
+			Uniform(hw.TeslaK40c, 8),
+			[]Option{WithTopology(hw.DefaultTopology()), WithOverlap(),
+				WithCrossJob(hw.GiB), WithFaultPlan(plan)},
+			Cluster{Device: hw.TeslaK40c, Devices: 8, Topology: hw.DefaultTopology(),
+				Overlap: true, CrossJob: true, HostSpillBytes: hw.GiB, Faults: plan},
+		},
+	}
+	for name, tc := range cases {
+		got, err := NewCluster(tc.devices, tc.opts...)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("%s: NewCluster = %+v, want literal %+v", name, got, tc.want)
+		}
+		// The built cluster must be accepted by every constructor the
+		// literal is.
+		if _, err := NewScheduler(got, Packing); err != nil {
+			t.Errorf("%s: NewScheduler rejected the built cluster: %v", name, err)
+		}
+	}
+}
+
+func TestNewClusterErrors(t *testing.T) {
+	other := hw.TeslaK40c
+	other.Name = "Tesla K40c (b)"
+	cases := map[string]struct {
+		devices []hw.DeviceSpec
+		opts    []Option
+		want    string
+	}{
+		"no devices":    {nil, nil, "at least one device"},
+		"heterogeneous": {[]hw.DeviceSpec{hw.TeslaK40c, other}, nil, "heterogeneous"},
+		"no memory":     {Uniform(hw.DeviceSpec{Name: "null"}, 2), nil, "no usable memory"},
+		"bad fault plan": {Uniform(hw.TeslaK40c, 2),
+			[]Option{WithFaultPlan(FaultPlan{Events: []FaultEvent{{At: ms(1), Device: 5}}})},
+			"targets device 5"},
+	}
+	for name, tc := range cases {
+		if _, err := NewCluster(tc.devices, tc.opts...); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: want error containing %q, got %v", name, tc.want, err)
+		}
+	}
+}
+
+func TestUniform(t *testing.T) {
+	if got := Uniform(hw.TeslaK40c, 3); len(got) != 3 || got[0] != hw.TeslaK40c || got[2] != hw.TeslaK40c {
+		t.Errorf("Uniform(3) = %v", got)
+	}
+	if got := Uniform(hw.TeslaK40c, 0); len(got) != 0 {
+		t.Errorf("Uniform(0) has %d specs", len(got))
+	}
+	if got := Uniform(hw.TeslaK40c, -2); len(got) != 0 {
+		t.Errorf("Uniform(-2) has %d specs", len(got))
+	}
+}

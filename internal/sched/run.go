@@ -33,11 +33,15 @@ import (
 // multiset in the same key order, so they produce the same schedule
 // byte for byte.
 
-// Event classes: arrivals order before iteration completions at the
-// same virtual time (see the package comment above).
+// Event classes: arrivals order before iteration completions, and
+// both order before fault events, at the same virtual time (see the
+// package comment above and fault.go — a job checkpoints at an
+// iteration boundary that coincides with a failure, and an arrival
+// admitted onto a device failing that instant is displaced, not lost).
 const (
 	classArrival = 0
 	classDone    = 1
+	classFault   = 2
 )
 
 // event is one schedulable decision point.
@@ -45,8 +49,8 @@ type event struct {
 	at    sim.Time
 	class uint8
 	seq   int64 // per-class monotone sequence, the final tie-break
-	job   int   // index into exec.states
-	dev   int   // device index (classDone only)
+	job   int   // index into exec.states; the recover flag (classFault)
+	dev   int   // device index (classDone and classFault)
 }
 
 // before is the total event order: (time, class, sequence).
@@ -139,6 +143,17 @@ type jobState struct {
 	marked bool
 	// running is set while an iteration is in flight on the engine.
 	running bool
+	// liveDone is the sequence of the in-flight iteration's completion
+	// event, -1 when none. A device failure aborts the iteration by
+	// resetting it, so the already-queued completion is recognized as
+	// stale when it fires.
+	liveDone int64
+	// Fault-recovery counters: checkpoint restores suffered, elastic
+	// gang shrinks taken, and iterations lost in flight (each re-run
+	// from the last iteration boundary).
+	restores  int
+	shrinks   int
+	lostIters int
 	// demand is the device-planner demand under CrossJob admission
 	// (zero otherwise). Immutable after creation; clones share the
 	// tensor slice.
@@ -164,6 +179,14 @@ type device struct {
 	// host-spill-pool one (CrossJob only).
 	maxRes    int
 	spillPeak int64
+
+	// Fault state: failed devices are skipped by every placement and
+	// dispatch path; downSince stamps the current outage, down
+	// accumulates completed ones, fails counts failure events.
+	failed    bool
+	downSince sim.Time
+	down      sim.Duration
+	fails     int
 
 	// memIntegral accumulates used×dt for the memory-utilization
 	// metric; lastT is the time of its last update.
@@ -233,11 +256,19 @@ func newExec(c Cluster, p Policy, est *Estimator) (*exec, error) {
 	if p.Less == nil {
 		return nil, fmt.Errorf("sched: policy %q has no queue order", p.Name)
 	}
+	if err := c.Faults.Validate(c.Devices); err != nil {
+		return nil, err
+	}
 	if est == nil {
 		est = NewEstimator()
 	}
 	e := &exec{cluster: c, policy: p, cap: c.Capacity(), est: est,
 		topo: c.Topology.WithDefaults(), overlap: c.Overlap}
+	if len(e.cluster.Faults.Events) == 0 {
+		// Normalize an empty plan to nil so option-built and
+		// literal-built clusters compare equal in reported results.
+		e.cluster.Faults.Events = nil
+	}
 	e.devs = make([]*device, c.Devices)
 	for i := range e.devs {
 		e.devs[i] = &device{}
@@ -310,7 +341,7 @@ func (e *exec) addJob(j Job) (int, error) {
 	if j.GPUs > e.cluster.Devices {
 		// A gang wider than the cluster can never be placed; reject up
 		// front like a single job that cannot fit an idle device.
-		e.states = append(e.states, &jobState{Job: j, seq: i,
+		e.states = append(e.states, &jobState{Job: j, seq: i, liveDone: -1,
 			rejReason: fmt.Sprintf("gang needs %d devices, cluster has %d", j.GPUs, e.cluster.Devices)})
 		e.rejCount++
 		return i, nil
@@ -346,7 +377,7 @@ func (e *exec) addJob(j Job) (int, error) {
 		// Rejected before any shape estimated cleanly: the recorded
 		// Estimate stays zero, exactly as the batch scheduler always
 		// reported it.
-		e.states = append(e.states, &jobState{Job: j, seq: i, rejReason: rejReason})
+		e.states = append(e.states, &jobState{Job: j, seq: i, liveDone: -1, rejReason: rejReason})
 		e.rejCount++
 		e.lg.Info("job rejected", "job", j.ID, "reason", rejReason)
 		return i, nil
@@ -361,7 +392,7 @@ func (e *exec) addJob(j Job) (int, error) {
 			iterTimes[k] = perBatch[b].IterTime
 		}
 	}
-	js := &jobState{Job: j, seq: i, rejReason: rejReason, est: worst, iterTimes: iterTimes, remaining: j.Iterations, device: -1}
+	js := &jobState{Job: j, seq: i, rejReason: rejReason, est: worst, iterTimes: iterTimes, remaining: j.Iterations, device: -1, liveDone: -1}
 	if rejReason != "" {
 		js.remaining = 0
 		e.rejCount++
@@ -435,7 +466,13 @@ func (e *exec) processUntil(limit sim.Time) {
 			e.pending = append(e.pending, e.states[ev.job])
 			e.schedule(ev.at)
 		case classDone:
-			e.iterDone(e.states[ev.job], ev.dev, ev.at)
+			e.iterDone(e.states[ev.job], ev.dev, ev.at, ev.seq)
+		case classFault:
+			if ev.job != 0 {
+				e.recoverDevice(ev.dev, ev.at)
+			} else {
+				e.failDevice(ev.dev, ev.at)
+			}
 		}
 	}
 }
@@ -457,6 +494,9 @@ func (e *exec) schedule(now sim.Time) {
 // charges the worst case over the running tenant plus parked floors —
 // not the sum of solo peaks.
 func (e *exec) headroom(js *jobState, di int) (int64, bool) {
+	if e.devs[di].failed {
+		return 0, false
+	}
 	if e.crossjob {
 		return e.planners[di].Headroom(js.demand)
 	}
@@ -471,6 +511,9 @@ func (e *exec) headroom(js *jobState, di int) (int64, bool) {
 // evicted — the preemption-viability probe.
 func (e *exec) headroomWithout(js *jobState, di int, exclude func(*jobState) bool) (int64, bool) {
 	d := e.devs[di]
+	if d.failed {
+		return 0, false
+	}
 	if e.crossjob {
 		return e.planners[di].HeadroomWithout(func(member string) bool {
 			for _, r := range d.resident {
@@ -529,15 +572,12 @@ func (e *exec) admit(js *jobState, gang []int, now sim.Time) {
 	}
 	js.gang = gang
 	js.device = gang[0]
-	js.gangAR = 0
-	if len(gang) > 1 {
-		// The collective is priced once per placement: a bucketed ring
-		// all-reduce of the replica gradient across the gang, set by
-		// the slowest pairwise tier (a preempted gang re-priced on
-		// re-admission may land on a different tier).
-		link := e.topo.SlowestLink(gang)
-		js.gangAR = dataparallel.GangAllReduce(link, js.est.GradientBytes, len(gang), dataparallel.DefaultBuckets)
-	}
+	// The collective is priced once per placement: a bucketed ring
+	// all-reduce of the replica gradient across the gang, set by the
+	// slowest pairwise tier (a preempted gang re-priced on re-admission
+	// may land on a different tier, and an elastically shrunk gang is
+	// re-priced by this same rule over its surviving subset).
+	js.gangAR = dataparallel.PriceGang(e.topo, gang, js.est.GradientBytes, dataparallel.DefaultBuckets)
 	if !js.started {
 		js.started = true
 		js.start = now
@@ -561,37 +601,46 @@ func (e *exec) admit(js *jobState, gang []int, now sim.Time) {
 }
 
 // vacate releases the job's reservation on every gang member and drops
-// it from their resident sets — a gang always leaves atomically. The
-// gang list is retained for reporting; the next admit overwrites it.
+// it from their resident sets — a gang always leaves atomically (an
+// elastic shrink, which releases one member only, goes through
+// vacateOne directly). The gang list is retained for reporting; the
+// next admit overwrites it.
 func (e *exec) vacate(js *jobState, now sim.Time) {
 	for _, di := range js.gang {
-		d := e.devs[di]
-		for i, r := range d.resident {
-			if r == js {
-				d.resident = append(d.resident[:i], d.resident[i+1:]...)
-				if d.rr > i {
-					d.rr--
-				}
-				break
-			}
-		}
-		if len(d.resident) > 0 {
-			d.rr %= len(d.resident)
-		} else {
-			d.rr = 0
-		}
-		if e.crossjob {
-			pl := e.planners[di]
-			before := pl.Requirement()
-			if err := pl.Release(js.demand.Job); err != nil {
-				e.fail(fmt.Errorf("sched: %w", err))
-			}
-			d.setUsed(now, pl.Requirement()-before)
-		} else {
-			d.setUsed(now, -js.est.PeakBytes)
-		}
+		e.vacateOne(js, di, now)
 	}
 	js.gangAR = 0
+}
+
+// vacateOne drops the job from device di's resident set and releases
+// its reservation there, re-planning the device's demand set under
+// CrossJob.
+func (e *exec) vacateOne(js *jobState, di int, now sim.Time) {
+	d := e.devs[di]
+	for i, r := range d.resident {
+		if r == js {
+			d.resident = append(d.resident[:i], d.resident[i+1:]...)
+			if d.rr > i {
+				d.rr--
+			}
+			break
+		}
+	}
+	if len(d.resident) > 0 {
+		d.rr %= len(d.resident)
+	} else {
+		d.rr = 0
+	}
+	if e.crossjob {
+		pl := e.planners[di]
+		before := pl.Requirement()
+		if err := pl.Release(js.demand.Job); err != nil {
+			e.fail(fmt.Errorf("sched: %w", err))
+		}
+		d.setUsed(now, pl.Requirement()-before)
+	} else {
+		d.setUsed(now, -js.est.PeakBytes)
+	}
 }
 
 // dispatch submits the next resident iteration round-robin when the
@@ -600,7 +649,7 @@ func (e *exec) vacate(js *jobState, now sim.Time) {
 // members' completions retry it), so single-device work keeps flowing
 // around a waiting gang.
 func (e *exec) dispatch(d *device, di int, now sim.Time) {
-	if d.inflight || len(d.resident) == 0 {
+	if d.failed || d.inflight || len(d.resident) == 0 {
 		return
 	}
 	n := len(d.resident)
@@ -638,6 +687,7 @@ func (e *exec) dispatch(d *device, di int, now sim.Time) {
 			gd.busy += dur
 		}
 		e.doneSeq++
+		js.liveDone = e.doneSeq
 		e.q.push(event{at: end, class: classDone, seq: e.doneSeq, job: js.seq, dev: di})
 		return
 	}
@@ -645,7 +695,14 @@ func (e *exec) dispatch(d *device, di int, now sim.Time) {
 
 // iterDone handles one iteration-completion event; for a gang it is
 // the synchronous barrier at which all member engines free together.
-func (e *exec) iterDone(js *jobState, di int, now sim.Time) {
+// A completion whose iteration was aborted by a device failure is
+// stale — its sequence no longer matches liveDone (the engines were
+// already rewound at the failure instant) — and is dropped.
+func (e *exec) iterDone(js *jobState, di int, now sim.Time, seq int64) {
+	if !js.running || seq != js.liveDone {
+		return
+	}
+	js.liveDone = -1
 	gang := js.gang
 	for _, g := range gang {
 		gd := e.devs[g]
@@ -801,6 +858,9 @@ func (e *exec) jobResult(i int) JobResult {
 	jr.Wait = sim.Duration(js.start - js.Arrival)
 	jr.JCT = sim.Duration(js.finish - js.Arrival)
 	jr.Preemptions = js.preempts
+	jr.Restores = js.restores
+	jr.Shrinks = js.shrinks
+	jr.LostIterations = js.lostIters
 	return jr
 }
 
@@ -811,8 +871,18 @@ func (e *exec) result() (*Result, error) {
 	if e.runErr != nil {
 		return nil, e.runErr
 	}
+	failedDevs := 0
+	for _, d := range e.devs {
+		if d.failed {
+			failedDevs++
+		}
+	}
 	for _, js := range e.states {
 		if js.rejReason == "" && js.remaining > 0 {
+			if failedDevs > 0 {
+				return nil, fmt.Errorf("sched: job %s stranded with %d iterations left (%d of %d devices failed at end of trace)",
+					js.ID, js.remaining, failedDevs, len(e.devs))
+			}
 			return nil, fmt.Errorf("sched: job %s stranded with %d iterations left (scheduler deadlock)", js.ID, js.remaining)
 		}
 	}
@@ -828,8 +898,15 @@ func (e *exec) result() (*Result, error) {
 	var memSum float64
 	for i, d := range e.devs {
 		d.setUsed(end, 0) // close the integral
+		if d.failed {
+			// An outage still open at end of trace (a permanent
+			// failure) is charged through the makespan.
+			d.down += sim.Duration(end - d.downSince)
+			d.downSince = end
+		}
 		st := DeviceStat{Busy: d.busy, PeakReserved: d.peak, Iterations: d.iters,
-			PeakResidents: d.maxRes, SpillPeak: d.spillPeak}
+			PeakResidents: d.maxRes, SpillPeak: d.spillPeak,
+			Failures: d.fails, Downtime: d.down}
 		if end > 0 {
 			st.BusyFrac = float64(st.Busy) / float64(end)
 			st.MemUtil = d.memIntegral / (float64(e.cap) * float64(end))

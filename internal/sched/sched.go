@@ -116,6 +116,13 @@ type Cluster struct {
 	// HostSpillBytes bounds each device's host-side spill pool under
 	// CrossJob (0 selects the 64 GiB default). Ignored otherwise.
 	HostSpillBytes int64
+
+	// Faults scripts deterministic device failures and recoveries (see
+	// fault.go); the zero value is the historical always-healthy
+	// cluster. Victims of a failure restore from their last
+	// iteration-boundary checkpoint, gangs shrinking elastically to
+	// their surviving members when they can.
+	Faults FaultPlan
 }
 
 // Capacity returns the per-device memory capacity.
@@ -146,6 +153,17 @@ type JobResult struct {
 	JCT  sim.Duration
 	// Preemptions counts how often the job was evicted and re-queued.
 	Preemptions int
+	// Restores counts device-failure checkpoint restores: each is one
+	// resumption from the last completed iteration boundary, whether
+	// by elastic gang shrink or full re-queue through admission.
+	Restores int
+	// Shrinks counts elastic gang shrinks — failures this job survived
+	// by dropping the failed member and re-pricing its all-reduce over
+	// the survivors, instead of being evicted.
+	Shrinks int
+	// LostIterations counts iterations aborted in flight by a device
+	// failure; each was re-run from the checkpoint.
+	LostIterations int
 }
 
 // DeviceStat aggregates one device over the schedule.
@@ -167,6 +185,11 @@ type DeviceStat struct {
 	// SpillPeak is the high-water mark of the device's host-side spill
 	// pool (always zero without Cluster.CrossJob).
 	SpillPeak int64
+	// Failures counts the device's scripted failure events; Downtime
+	// is the total time spent failed (an outage still open at end of
+	// trace is charged through the makespan).
+	Failures int
+	Downtime sim.Duration
 }
 
 // Result is the outcome of scheduling one trace on a cluster.
@@ -253,6 +276,9 @@ func NewScheduler(c Cluster, p Policy) (*Scheduler, error) {
 	if p.Less == nil {
 		return nil, fmt.Errorf("sched: policy %q has no queue order", p.Name)
 	}
+	if err := c.Faults.Validate(c.Devices); err != nil {
+		return nil, err
+	}
 	return &Scheduler{cluster: c, policy: p, est: NewEstimator()}, nil
 }
 
@@ -294,10 +320,13 @@ func (s *Scheduler) Run(jobs []Job) (*Result, error) {
 			return nil, err
 		}
 	}
-	// Arrivals, in input order for same-instant determinism.
+	// Arrivals, in input order for same-instant determinism; then the
+	// scripted fault events (their class orders them after arrivals
+	// and completions at equal instants).
 	for i := range e.states {
 		e.postArrival(i)
 	}
+	e.postFaults()
 	e.processUntil(-1)
 	return e.result()
 }

@@ -62,6 +62,18 @@ func EncodeSnapshot(inc *Incremental) []byte {
 	if e.crossjob {
 		fmt.Fprintf(&b, "plan %d\n", e.spillCap)
 	}
+	// The faults record carries the cluster's scripted fault plan; its
+	// absence restores the historical always-healthy cluster. The
+	// undelivered fault events themselves travel in the event queue
+	// like every other event — this record only preserves the plan for
+	// reporting and re-validation.
+	if n := len(e.cluster.Faults.Events); n > 0 {
+		fmt.Fprintf(&b, "faults %d", n)
+		for _, fe := range e.cluster.Faults.Events {
+			fmt.Fprintf(&b, " %d %d %d", int64(fe.At), fe.Device, b2i(fe.Recover))
+		}
+		b.WriteByte('\n')
+	}
 	fmt.Fprintf(&b, "clock %d %d %d\n", int64(inc.mark), int64(e.now), e.doneSeq)
 	fmt.Fprintf(&b, "agg %d %d %d %d\n", e.finCount, e.rejCount, int64(e.sumJCT), int64(e.sumWait))
 
@@ -86,8 +98,11 @@ func EncodeSnapshot(inc *Incremental) []byte {
 		// re-prices identically after a preemption, and the estimate's
 		// floor and spill traffic (newer still — the decoder accepts
 		// their absence too) so a re-admitted job plans identically.
+		// Newest of all, the fault-recovery counters and the live
+		// completion sequence (the stale-completion guard).
 		fmt.Fprintf(&b, " %s %d %d %d %d", intList(js.gang), int64(js.gangAR), js.est.GradientBytes,
 			js.est.FloorBytes, js.est.SpillBytes)
+		fmt.Fprintf(&b, " %d %d %d %d", js.restores, js.shrinks, js.lostIters, js.liveDone)
 		b.WriteByte('\n')
 		// The demand record serializes the job's tensor-granularity
 		// planner demand directly rather than rebuilding it from the
@@ -112,8 +127,10 @@ func EncodeSnapshot(inc *Incremental) []byte {
 			fmt.Fprintf(&b, " %d", r.seq)
 		}
 		// Co-tenancy high-water marks, appended after the residents; the
-		// decoder accepts their absence (older snapshots).
+		// decoder accepts their absence (older snapshots). Newer still,
+		// the fault state (failed flag, outage stamps, failure count).
 		fmt.Fprintf(&b, " %d %d", d.maxRes, d.spillPeak)
+		fmt.Fprintf(&b, " %d %d %d %d", b2i(d.failed), int64(d.downSince), int64(d.down), d.fails)
 		b.WriteByte('\n')
 	}
 
@@ -198,6 +215,25 @@ func RestoreIncremental(data []byte, est *Estimator) (*Incremental, error) {
 			return nil, fmt.Errorf("sched: snapshot: plan record with spill pool %d", spillCap)
 		}
 	}
+	// Optional faults record: the scripted fault plan. Legacy snapshots
+	// (no record) restore to the always-healthy cluster. The plan is
+	// re-validated by newExec below, so a hand-crafted record cannot
+	// smuggle in an inconsistent event sequence.
+	var faults FaultPlan
+	if f := r.fieldsOpt("faults", 2); f != nil {
+		nfe := r.count(f, 1, 1<<16)
+		rest := r.tail(2)
+		if r.err == nil && len(rest) != 3*nfe {
+			return nil, fmt.Errorf("sched: snapshot: %d fault events declared, %d fields present", nfe, len(rest))
+		}
+		for k := 0; k < nfe && r.err == nil; k++ {
+			faults.Events = append(faults.Events, FaultEvent{
+				At:      sim.Time(r.i64(rest[3*k])),
+				Device:  int(r.i64(rest[3*k+1])),
+				Recover: r.i64(rest[3*k+2]) != 0,
+			})
+		}
+	}
 	f = r.fields("clock", 4)
 	if r.err != nil {
 		return nil, r.err
@@ -215,7 +251,7 @@ func RestoreIncremental(data []byte, est *Estimator) (*Incremental, error) {
 	sumWait := sim.Duration(r.i64(f[4]))
 
 	ex, err := newExec(Cluster{Device: spec, Devices: ndev, Topology: topo, Overlap: overlap,
-		CrossJob: crossjob, HostSpillBytes: spillCap}, policy, est)
+		CrossJob: crossjob, HostSpillBytes: spillCap, Faults: faults}, policy, est)
 	if err != nil {
 		if r.err != nil {
 			return nil, r.err
@@ -282,9 +318,12 @@ func RestoreIncremental(data []byte, est *Estimator) (*Incremental, error) {
 		rest := r.tail(14 + 1)
 		// Pre-gang snapshots end the record at the iteration times;
 		// gang-era ones append the placement, its all-reduce price and
-		// the gradient volume; current ones also append the estimate's
-		// floor and spill traffic.
-		if len(rest) != nit && len(rest) != nit+3 && len(rest) != nit+5 {
+		// the gradient volume; later ones also append the estimate's
+		// floor and spill traffic; current ones the fault-recovery
+		// counters and live completion sequence. A legacy job's
+		// liveDone is reconstructed from the event queue below.
+		js.liveDone = -1
+		if len(rest) != nit && len(rest) != nit+3 && len(rest) != nit+5 && len(rest) != nit+9 {
 			return nil, fmt.Errorf("sched: snapshot: job %d: %d iteration times declared, %d fields present", i, nit, len(rest))
 		}
 		js.iterTimes = make([]sim.Duration, 0, nit)
@@ -296,9 +335,15 @@ func RestoreIncremental(data []byte, est *Estimator) (*Incremental, error) {
 			js.gangAR = sim.Duration(r.i64(rest[nit+1]))
 			js.est.GradientBytes = r.i64(rest[nit+2])
 		}
-		if len(rest) == nit+5 {
+		if len(rest) >= nit+5 {
 			js.est.FloorBytes = r.i64(rest[nit+3])
 			js.est.SpillBytes = r.i64(rest[nit+4])
+		}
+		if len(rest) == nit+9 {
+			js.restores = int(r.i64(rest[nit+5]))
+			js.shrinks = int(r.i64(rest[nit+6]))
+			js.lostIters = int(r.i64(rest[nit+7]))
+			js.liveDone = r.i64(rest[nit+8])
 		}
 		// Optional demand record: the job's planner demand under
 		// CrossJob, replayed verbatim so rebuildPlanners reproduces the
@@ -353,6 +398,9 @@ func RestoreIncremental(data []byte, est *Estimator) (*Incremental, error) {
 			if js.gangAR < 0 {
 				return nil, fmt.Errorf("sched: snapshot: job %d has negative all-reduce price", i)
 			}
+			if js.restores < 0 || js.shrinks < 0 || js.lostIters < 0 || js.liveDone < -1 {
+				return nil, fmt.Errorf("sched: snapshot: job %d has negative fault counters", i)
+			}
 			// Gang members must be valid, strictly ascending device
 			// indices — the event loop indexes devices through them.
 			for k, g := range js.gang {
@@ -405,16 +453,26 @@ func RestoreIncremental(data []byte, est *Estimator) (*Incremental, error) {
 			break
 		}
 		rest := r.tail(12)
-		// Older snapshots end at the residents; current ones append the
-		// co-tenancy and spill high-water marks.
-		if len(rest) != nres && len(rest) != nres+2 {
+		// Older snapshots end at the residents; later ones append the
+		// co-tenancy and spill high-water marks; current ones the fault
+		// state too. Legacy devices restore healthy.
+		if len(rest) != nres && len(rest) != nres+2 && len(rest) != nres+6 {
 			return nil, fmt.Errorf("sched: snapshot: dev %d: %d residents declared, %d present", i, nres, len(rest))
 		}
-		if len(rest) == nres+2 {
+		if len(rest) >= nres+2 {
 			d.maxRes = int(r.i64(rest[nres]))
 			d.spillPeak = r.i64(rest[nres+1])
-			rest = rest[:nres]
 		}
+		if len(rest) == nres+6 {
+			d.failed = r.i64(rest[nres+2]) != 0
+			d.downSince = sim.Time(r.i64(rest[nres+3]))
+			d.down = sim.Duration(r.i64(rest[nres+4]))
+			d.fails = int(r.i64(rest[nres+5]))
+			if r.err == nil && (d.fails < 0 || d.down < 0) {
+				return nil, fmt.Errorf("sched: snapshot: dev %d has negative fault counters", i)
+			}
+		}
+		rest = rest[:nres]
 		for _, s := range rest {
 			js, err := jobAt(r.i64(s), "resident list")
 			if err != nil {
@@ -443,6 +501,11 @@ func RestoreIncremental(data []byte, est *Estimator) (*Incremental, error) {
 		// (and legacy snapshots carry no mark at all).
 		if d.maxRes < len(d.resident) {
 			d.maxRes = len(d.resident)
+		}
+		// A failed device holds no residents and runs nothing — its
+		// victims were displaced when the failure fired.
+		if d.failed && (len(d.resident) > 0 || d.inflight) {
+			return nil, fmt.Errorf("sched: snapshot: dev %d failed but has residents or in-flight work", i)
 		}
 	}
 	if r.err != nil {
@@ -483,11 +546,19 @@ func RestoreIncremental(data []byte, est *Estimator) (*Incremental, error) {
 			job:   int(r.i64(f[4])),
 			dev:   int(r.i64(f[5])),
 		}
-		if ev.class != classArrival && ev.class != classDone {
+		switch ev.class {
+		case classArrival, classDone:
+			if _, err := jobAt(int64(ev.job), "event"); err != nil {
+				return nil, err
+			}
+		case classFault:
+			// A fault event's job field is the recover flag, not a job
+			// index.
+			if ev.job != 0 && ev.job != 1 {
+				return nil, fmt.Errorf("sched: snapshot: fault event %d has recover flag %d", k, ev.job)
+			}
+		default:
 			return nil, fmt.Errorf("sched: snapshot: event %d has class %d", k, ev.class)
-		}
-		if _, err := jobAt(int64(ev.job), "event"); err != nil {
-			return nil, err
 		}
 		if ev.dev < 0 || ev.dev >= ndev {
 			return nil, fmt.Errorf("sched: snapshot: event %d references device %d of %d", k, ev.dev, ndev)
@@ -496,6 +567,17 @@ func RestoreIncremental(data []byte, est *Estimator) (*Incremental, error) {
 	}
 	if r.err != nil {
 		return nil, r.err
+	}
+	// Legacy snapshots predate the stale-completion guard and carry no
+	// liveDone field; such a snapshot holds exactly one queued
+	// completion per running job, so reconstruct the live sequence from
+	// the queue.
+	for _, ev := range ex.q {
+		if ev.class == classDone {
+			if js := ex.states[ev.job]; js.running && js.liveDone < 0 {
+				js.liveDone = ev.seq
+			}
+		}
 	}
 	if line := r.next(); line != "end" {
 		if r.err != nil {

@@ -29,3 +29,20 @@ func JobsFromTrace(ts []workload.TraceJob) []Job {
 	}
 	return out
 }
+
+// FaultsFromTrace converts workload fault events (millisecond times)
+// into a cluster fault plan, preserving file order.
+func FaultsFromTrace(fs []workload.TraceFault) FaultPlan {
+	if len(fs) == 0 {
+		return FaultPlan{}
+	}
+	evs := make([]FaultEvent, len(fs))
+	for i, f := range fs {
+		evs[i] = FaultEvent{
+			At:      sim.Time(f.AtMS) * sim.Time(sim.Millisecond),
+			Device:  f.Device,
+			Recover: f.Recover,
+		}
+	}
+	return FaultPlan{Events: evs}
+}

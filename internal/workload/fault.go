@@ -1,0 +1,136 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// TraceFault is one scripted device-fault event in a trace: a device
+// failing or recovering at a virtual instant. Times are milliseconds,
+// like arrivals, so fault scripts stay human-editable.
+type TraceFault struct {
+	AtMS   int64
+	Device int
+	// Recover returns a failed device to service; false is a failure.
+	Recover bool
+}
+
+// parseFault parses one "fault fail|recover dev=N at=T" line.
+func parseFault(line int, f []string) (TraceFault, error) {
+	var tf TraceFault
+	if len(f) != 4 {
+		return tf, fmt.Errorf("workload: trace line %d: want \"fault fail|recover dev=N at=T\", got %d fields", line, len(f))
+	}
+	switch f[1] {
+	case "fail":
+	case "recover":
+		tf.Recover = true
+	default:
+		return tf, fmt.Errorf("workload: trace line %d: bad fault kind %q (want fail or recover)", line, f[1])
+	}
+	v, ok := strings.CutPrefix(f[2], "dev=")
+	if !ok {
+		return tf, fmt.Errorf("workload: trace line %d: want dev=N, got %q", line, f[2])
+	}
+	var err error
+	if tf.Device, err = strconv.Atoi(v); err != nil || tf.Device < 0 {
+		return tf, fmt.Errorf("workload: trace line %d: bad fault device %q", line, f[2])
+	}
+	v, ok = strings.CutPrefix(f[3], "at=")
+	if !ok {
+		return tf, fmt.Errorf("workload: trace line %d: want at=T, got %q", line, f[3])
+	}
+	if tf.AtMS, err = parseMS(v); err != nil {
+		return tf, fmt.Errorf("workload: trace line %d: bad fault time %q", line, f[3])
+	}
+	return tf, nil
+}
+
+// parseMS parses a trace time field: a bare integer is milliseconds,
+// and the "ms" and "s" suffixes are accepted ("2000", "2000ms" and
+// "2s" are the same instant). Negative times are rejected.
+func parseMS(s string) (int64, error) {
+	mult := int64(1)
+	if v, ok := strings.CutSuffix(s, "ms"); ok {
+		s = v
+	} else if v, ok := strings.CutSuffix(s, "s"); ok {
+		s = v
+		mult = 1000
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, err
+	}
+	if n < 0 || n > math.MaxInt64/mult {
+		return 0, fmt.Errorf("time %q out of range", s)
+	}
+	return n * mult, nil
+}
+
+// FaultHeader is the comment line FormatTraceEvents emits before the
+// fault events.
+const FaultHeader = "# fault fail|recover dev=N at=T\n"
+
+// FormatFault renders one fault event as a ParseTraceEvents line (with
+// trailing newline), in the canonical millisecond form.
+func FormatFault(f TraceFault) string {
+	kind := "fail"
+	if f.Recover {
+		kind = "recover"
+	}
+	return fmt.Sprintf("fault %s dev=%d at=%dms\n", kind, f.Device, f.AtMS)
+}
+
+// FormatTraceEvents renders jobs then fault events in the
+// ParseTraceEvents format, with header comments; it is FormatTrace
+// when there are no faults, so fault-free traces keep their historical
+// bytes. Reparsing the output yields the same jobs and faults.
+func FormatTraceEvents(jobs []TraceJob, faults []TraceFault) string {
+	var b strings.Builder
+	b.WriteString(FormatTrace(jobs))
+	if len(faults) > 0 {
+		b.WriteString(FaultHeader)
+		for _, f := range faults {
+			b.WriteString(FormatFault(f))
+		}
+	}
+	return b.String()
+}
+
+// FaultClusterDevices is the cluster size FaultTrace targets: one
+// DefaultTopology node — two 4-device NVLink islands.
+const FaultClusterDevices = 8
+
+// FaultTrace is the bundled failure-scenario trace: a long 4-wide gang
+// (highest priority, first arrival, so every policy places it on the
+// first NVLink island) plus device-sized singles that land on the
+// second island, under three scripted faults. Device 4 fails
+// permanently mid-flight — its resident re-queues from its checkpoint
+// and finishes elsewhere. Device 2 fails while the gang is mid-
+// iteration — the gang shrinks elastically to its three survivors,
+// losing only the in-flight iteration — and later recovers, returning
+// the device to placement. No job is lost: every victim resumes from
+// its last iteration-boundary checkpoint and completes.
+func FaultTrace() ([]TraceJob, []TraceFault) {
+	jobs := []TraceJob{
+		// ResNet50 b48 naive ≈87% of a K40c: the gang's island stays
+		// exclusive — nothing in the zoo fits the 13% gap — so its
+		// iteration boundaries are regular and t=2s lands mid-iteration.
+		{ID: "gang-resnet", ArrivalMS: 0, Network: "ResNet50", Batch: 48, Manager: "naive", Priority: 9, Iterations: 20, GPUs: 4},
+		{ID: "solo-alex", ArrivalMS: 100, Network: "AlexNet", Batch: 512, Manager: "naive", Priority: 5, Iterations: 12},
+		{ID: "solo-vgg", ArrivalMS: 200, Network: "VGG16", Batch: 32, Manager: "caffe", Priority: 4, Iterations: 10},
+		{ID: "solo-sn", ArrivalMS: 300, Network: "AlexNet", Batch: 512, Manager: "superneurons", Priority: 3, Iterations: 16},
+		{ID: "solo-vdnn", ArrivalMS: 400, Network: "ResNet50", Batch: 32, Manager: "vdnn", Priority: 3, Iterations: 10},
+		// Arrives after device 2 recovers, so the returned device is
+		// the only one with room — recovery visibly re-enters placement.
+		{ID: "late-alex", ArrivalMS: 4500, Network: "AlexNet", Batch: 512, Manager: "naive", Priority: 6, Iterations: 8},
+	}
+	faults := []TraceFault{
+		{AtMS: 1500, Device: 4},
+		{AtMS: 2000, Device: 2},
+		{AtMS: 4000, Device: 2, Recover: true},
+	}
+	return jobs, faults
+}

@@ -86,9 +86,15 @@ func Buckets(reps int, batches ...int) Schedule {
 	return out
 }
 
+// MaxScheduleLen bounds a parsed schedule's expanded length: a trace
+// line like "1x2000000000" must fail at parse time, not allocate a
+// multi-gigabyte slice.
+const MaxScheduleLen = 1 << 20
+
 // ParseSchedule reads the compact trace syntax: comma-separated batch
 // sizes, each optionally with an xN repeat — "16x2,32,64x3" is
 // [16 16 32 64 64 64]. A plain integer parses as a one-entry schedule.
+// Schedules longer than MaxScheduleLen entries are rejected.
 func ParseSchedule(s string) (Schedule, error) {
 	var out Schedule
 	for _, part := range strings.Split(s, ",") {
@@ -101,6 +107,9 @@ func ParseSchedule(s string) (Schedule, error) {
 				return nil, fmt.Errorf("workload: bad repeat in schedule entry %q", part)
 			}
 			reps = r
+		}
+		if reps > MaxScheduleLen-len(out) {
+			return nil, fmt.Errorf("workload: schedule longer than %d entries at %q", MaxScheduleLen, part)
 		}
 		b, err := strconv.Atoi(batchStr)
 		if err != nil || b <= 0 {

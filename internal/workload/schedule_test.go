@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"fmt"
 	"reflect"
 	"strings"
 	"testing"
@@ -67,10 +68,15 @@ func TestParseScheduleRoundTrip(t *testing.T) {
 			t.Errorf("round trip of %q failed: %v %v", c.in, back, err)
 		}
 	}
-	for _, bad := range []string{"", "0", "-4", "16x0", "16x-1", "a", "16,,32", "16xx2"} {
+	for _, bad := range []string{"", "0", "-4", "16x0", "16x-1", "a", "16,,32", "16xx2",
+		"1x2000000000", "1x1000000,2x1000000"} {
 		if _, err := ParseSchedule(bad); err == nil {
 			t.Errorf("ParseSchedule(%q) accepted", bad)
 		}
+	}
+	// The expansion cap is a ceiling, not a smaller de-facto limit.
+	if got, err := ParseSchedule(fmt.Sprintf("1x%d", MaxScheduleLen)); err != nil || len(got) != MaxScheduleLen {
+		t.Errorf("schedule at the cap rejected: %d entries, %v", len(got), err)
 	}
 }
 

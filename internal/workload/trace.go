@@ -57,9 +57,33 @@ func ParseTrace(r io.Reader) ([]TraceJob, error) {
 // ParseTraceLimit is ParseTrace with a gang-size ceiling: a positive
 // maxGPUs rejects any job whose gpus=N exceeds it, naming the line —
 // so a trace replayed onto a known cluster fails at parse time, not
-// after hours of simulation. Zero means no ceiling.
+// after hours of simulation. Zero means no ceiling. Fault-event lines
+// are an error here: a caller that cannot deliver faults (the serving
+// layer's request log) must refuse such a trace loudly rather than
+// silently drop its failures; use ParseTraceEvents to accept them.
 func ParseTraceLimit(r io.Reader, maxGPUs int) ([]TraceJob, error) {
+	jobs, _, err := parseTrace(r, maxGPUs, false)
+	return jobs, err
+}
+
+// ParseTraceEvents is ParseTraceLimit extended with the fault-event
+// syntax: alongside job lines, a trace may script device failures and
+// recoveries as
+//
+//	fault fail dev=N at=T
+//	fault recover dev=N at=T
+//
+// where T is a time in milliseconds (a bare integer, or with an "ms"
+// or "s" suffix: "at=2000", "at=2000ms" and "at=2s" are the same
+// instant). Faults are returned in file order; a device that fails
+// and never recovers is permanently lost.
+func ParseTraceEvents(r io.Reader, maxGPUs int) ([]TraceJob, []TraceFault, error) {
+	return parseTrace(r, maxGPUs, true)
+}
+
+func parseTrace(r io.Reader, maxGPUs int, allowFaults bool) ([]TraceJob, []TraceFault, error) {
 	var out []TraceJob
+	var faults []TraceFault
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
 	line := 0
@@ -72,15 +96,26 @@ func ParseTraceLimit(r io.Reader, maxGPUs int) ([]TraceJob, error) {
 			if f := strings.Fields(strings.TrimPrefix(text, "#")); len(f) == 2 && f[0] == "shard" {
 				n, err := strconv.Atoi(f[1])
 				if err != nil || n < 0 {
-					return nil, fmt.Errorf("workload: trace line %d: bad shard directive %q", line, text)
+					return nil, nil, fmt.Errorf("workload: trace line %d: bad shard directive %q", line, text)
 				}
 				prefix = fmt.Sprintf("s%d/", n)
 			}
 			continue
 		}
 		f := strings.Fields(text)
+		if f[0] == "fault" {
+			if !allowFaults {
+				return nil, nil, fmt.Errorf("workload: trace line %d: fault events are not supported here (replay the trace through a fault-aware caller)", line)
+			}
+			tf, err := parseFault(line, f)
+			if err != nil {
+				return nil, nil, err
+			}
+			faults = append(faults, tf)
+			continue
+		}
 		if len(f) != 7 && len(f) != 8 {
-			return nil, fmt.Errorf("workload: trace line %d: want 7 fields (id arrival_ms network batch manager priority iterations [gpus=N]), got %d", line, len(f))
+			return nil, nil, fmt.Errorf("workload: trace line %d: want 7 fields (id arrival_ms network batch manager priority iterations [gpus=N]), got %d", line, len(f))
 		}
 		var (
 			tj  TraceJob
@@ -88,16 +123,16 @@ func ParseTraceLimit(r io.Reader, maxGPUs int) ([]TraceJob, error) {
 		)
 		tj.ID = prefix + f[0]
 		if first, dup := seen[tj.ID]; dup {
-			return nil, fmt.Errorf("workload: trace line %d: duplicate job id %q (first on line %d)", line, tj.ID, first)
+			return nil, nil, fmt.Errorf("workload: trace line %d: duplicate job id %q (first on line %d)", line, tj.ID, first)
 		}
 		seen[tj.ID] = line
 		if tj.ArrivalMS, err = strconv.ParseInt(f[1], 10, 64); err != nil || tj.ArrivalMS < 0 {
-			return nil, fmt.Errorf("workload: trace line %d: bad arrival %q", line, f[1])
+			return nil, nil, fmt.Errorf("workload: trace line %d: bad arrival %q", line, f[1])
 		}
 		tj.Network = f[2]
 		sched, err := ParseSchedule(f[3])
 		if err != nil {
-			return nil, fmt.Errorf("workload: trace line %d: bad batch %q", line, f[3])
+			return nil, nil, fmt.Errorf("workload: trace line %d: bad batch %q", line, f[3])
 		}
 		tj.Batch = sched.Max()
 		if len(sched) > 1 {
@@ -107,29 +142,29 @@ func ParseTraceLimit(r io.Reader, maxGPUs int) ([]TraceJob, error) {
 			tj.Manager = ""
 		}
 		if tj.Priority, err = strconv.Atoi(f[5]); err != nil {
-			return nil, fmt.Errorf("workload: trace line %d: bad priority %q", line, f[5])
+			return nil, nil, fmt.Errorf("workload: trace line %d: bad priority %q", line, f[5])
 		}
 		if tj.Iterations, err = strconv.Atoi(f[6]); err != nil || tj.Iterations <= 0 {
-			return nil, fmt.Errorf("workload: trace line %d: bad iterations %q", line, f[6])
+			return nil, nil, fmt.Errorf("workload: trace line %d: bad iterations %q", line, f[6])
 		}
 		if len(f) == 8 {
 			v, ok := strings.CutPrefix(f[7], "gpus=")
 			if !ok {
-				return nil, fmt.Errorf("workload: trace line %d: want gpus=N, got %q", line, f[7])
+				return nil, nil, fmt.Errorf("workload: trace line %d: want gpus=N, got %q", line, f[7])
 			}
 			if tj.GPUs, err = strconv.Atoi(v); err != nil || tj.GPUs < 1 {
-				return nil, fmt.Errorf("workload: trace line %d: bad gang size %q", line, f[7])
+				return nil, nil, fmt.Errorf("workload: trace line %d: bad gang size %q", line, f[7])
 			}
 			if maxGPUs > 0 && tj.GPUs > maxGPUs {
-				return nil, fmt.Errorf("workload: trace line %d: gang needs %d devices, cluster has %d", line, tj.GPUs, maxGPUs)
+				return nil, nil, fmt.Errorf("workload: trace line %d: gang needs %d devices, cluster has %d", line, tj.GPUs, maxGPUs)
 			}
 		}
 		out = append(out, tj)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("workload: reading trace after line %d: %w", line, err)
+		return nil, nil, fmt.Errorf("workload: reading trace after line %d: %w", line, err)
 	}
-	return out, nil
+	return out, faults, nil
 }
 
 // TraceHeader is the comment line FormatTrace emits before the jobs.

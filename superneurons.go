@@ -321,6 +321,63 @@ func CoTenantClusterTrace() []Job {
 // targets.
 const CoTenantClusterDevices = workload.CoTenantClusterDevices
 
+// Cluster construction and the deterministic fault layer
+// (internal/sched): NewCluster assembles a Cluster from per-device
+// specs and functional options — the constructor path over bare
+// struct literals, which keep working unchanged.
+type (
+	// ClusterOption configures a Cluster assembled by NewCluster
+	// (WithClusterTopology, WithAllReduceOverlap, WithCrossJobPlanning,
+	// WithFaultPlan).
+	ClusterOption = sched.Option
+	// FaultPlan scripts a cluster's deterministic device failures and
+	// recoveries; the zero value is the always-healthy cluster.
+	FaultPlan = sched.FaultPlan
+	// FaultEvent is one scripted change of a device's availability.
+	FaultEvent = sched.FaultEvent
+)
+
+// NewCluster assembles a Cluster from per-device specs and options.
+// The specs must be non-empty and homogeneous; an option-built cluster
+// compares equal to the matching struct literal.
+func NewCluster(devices []Device, opts ...ClusterOption) (Cluster, error) {
+	return sched.NewCluster(devices, opts...)
+}
+
+// UniformCluster expands one device spec into an n-device pool for
+// NewCluster.
+func UniformCluster(spec Device, n int) []Device { return sched.Uniform(spec, n) }
+
+// WithClusterTopology classifies the pool's device pairs into
+// interconnect tiers for gang placement and all-reduce pricing.
+func WithClusterTopology(t Topology) ClusterOption { return sched.WithTopology(t) }
+
+// WithAllReduceOverlap overlaps each gang's gradient all-reduce with
+// the backward half of its iteration.
+func WithAllReduceOverlap() ClusterOption { return sched.WithOverlap() }
+
+// WithCrossJobPlanning enables interference-aware cross-job admission
+// with a per-device host spill pool of spillBytes (0 selects the
+// default).
+func WithCrossJobPlanning(spillBytes int64) ClusterOption { return sched.WithCrossJob(spillBytes) }
+
+// WithFaultPlan scripts the cluster's deterministic fault layer:
+// scripted device failures and recoveries fire through the event
+// queue, victims restore from iteration-boundary checkpoints, and
+// gangs shrink elastically to surviving members when they can.
+func WithFaultPlan(p FaultPlan) ClusterOption { return sched.WithFaultPlan(p) }
+
+// FaultClusterTrace returns the bundled failure-scenario trace — jobs
+// and scripted device faults for a FaultClusterDevices-device cluster
+// (snsched -scenario faults replays it).
+func FaultClusterTrace() ([]Job, FaultPlan) {
+	jobs, faults := workload.FaultTrace()
+	return sched.JobsFromTrace(jobs), sched.FaultsFromTrace(faults)
+}
+
+// FaultClusterDevices is the cluster size FaultClusterTrace targets.
+const FaultClusterDevices = workload.FaultClusterDevices
+
 // CompareSchedulers replays the job stream on the cluster under every
 // built-in policy, in SchedulerPolicies() order.
 func CompareSchedulers(c Cluster, jobs []Job) ([]*ScheduleResult, error) {

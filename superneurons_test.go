@@ -223,3 +223,48 @@ func TestDynamicFacade(t *testing.T) {
 		t.Error("dynamic cluster trace has no dynamic jobs")
 	}
 }
+
+func TestClusterConstructionFacade(t *testing.T) {
+	jobs, plan := FaultClusterTrace()
+	if len(jobs) == 0 || plan.Empty() {
+		t.Fatal("fault cluster trace empty")
+	}
+	c, err := NewCluster(UniformCluster(TeslaK40c, FaultClusterDevices),
+		WithClusterTopology(DefaultClusterTopology()), WithAllReduceOverlap(),
+		WithFaultPlan(plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Cluster{Device: TeslaK40c, Devices: FaultClusterDevices,
+		Topology: DefaultClusterTopology(), Overlap: true, Faults: plan}
+	if !reflect.DeepEqual(c, want) {
+		t.Fatalf("NewCluster = %+v, want literal %+v", c, want)
+	}
+	s, err := NewScheduler(c, SchedTopoPacking)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shrinks, restores := 0, 0
+	for _, j := range r.Jobs {
+		if j.Rejected {
+			t.Errorf("job %s rejected: %s", j.ID, j.Reason)
+		}
+		shrinks += j.Shrinks
+		restores += j.Restores
+	}
+	if shrinks == 0 || restores == 0 {
+		t.Errorf("fault trace produced shrinks=%d restores=%d", shrinks, restores)
+	}
+
+	cj, err := NewCluster(UniformCluster(TeslaK40c, 2), WithCrossJobPlanning(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cj.CrossJob || cj.HostSpillBytes != 0 {
+		t.Errorf("WithCrossJobPlanning(0) built %+v", cj)
+	}
+}
