@@ -26,12 +26,14 @@ import (
 )
 
 type options struct {
-	addr      string
-	clients   int
-	jobs      int
-	retries   int
-	templates string
-	drain     bool
+	addr       string
+	clients    int
+	jobs       int
+	retries    int
+	templates  string
+	idempotent bool
+	think      time.Duration
+	drain      bool
 }
 
 func main() {
@@ -43,6 +45,8 @@ func main() {
 	flag.IntVar(&o.jobs, "jobs", 8, "jobs submitted per client")
 	flag.IntVar(&o.retries, "retries", 50, "queue-full retries per submission")
 	flag.StringVar(&o.templates, "templates", "mixed", "job templates: static, dynamic or mixed")
+	flag.BoolVar(&o.idempotent, "idempotent", false, "attach idempotency keys and retry transport failures (rides out a service crash + restart)")
+	flag.DurationVar(&o.think, "think", 0, "per-client delay between submissions")
 	flag.BoolVar(&o.drain, "drain", false, "drain the service after the run and print the final schedule")
 	flag.Parse()
 
@@ -74,6 +78,8 @@ func run(o options, w io.Writer) error {
 		JobsPerClient: o.jobs,
 		Templates:     templates,
 		SubmitRetries: o.retries,
+		Idempotent:    o.idempotent,
+		ThinkTime:     o.think,
 		Drain:         o.drain,
 	})
 	if err != nil {
@@ -81,8 +87,9 @@ func run(o options, w io.Writer) error {
 	}
 
 	t := metrics.NewTable(fmt.Sprintf("load run: %d clients x %d jobs against %s", o.clients, o.jobs, o.addr),
-		"submitted", "queue-full retries", "shed retries", "quota-denied", "failed", "elapsed", "req/s", "p50", "p90", "p99", "max")
-	t.Add(fmt.Sprint(rep.Submitted), fmt.Sprint(rep.QueueFull), fmt.Sprint(rep.Shed),
+		"submitted", "deduped", "retries", "exhausted", "queue-full", "shed", "quota-denied", "failed", "elapsed", "req/s", "p50", "p90", "p99", "max")
+	t.Add(fmt.Sprint(rep.Submitted), fmt.Sprint(rep.Deduped), fmt.Sprint(rep.Retries),
+		fmt.Sprint(rep.Exhausted), fmt.Sprint(rep.QueueFull), fmt.Sprint(rep.Shed),
 		fmt.Sprint(rep.QuotaDenied),
 		fmt.Sprint(rep.Failed), rep.Elapsed.Round(time.Millisecond).String(),
 		fmt.Sprintf("%.0f", rep.Throughput),

@@ -18,6 +18,8 @@
 //	snserved -snapshot-every 64               # compact status replays + enable checkpoints
 //	snserved -slo 5ms                         # shed load when submit p99 exceeds 5ms
 //	snserved -log requests.trace              # persist the replayable log
+//	snserved -wal-dir wal/                    # durable WAL; acks survive kill -9, restart recovers
+//	snserved -wal-dir wal/ -sync-every 64     # group fsyncs (bounded loss window)
 //	snserved -exit-after-drain                # exit after an API drain (CI smoke)
 //
 // Tenants hash onto -shards independent sequencers; the shards' records
@@ -73,6 +75,8 @@ type options struct {
 	slo            time.Duration
 	logPath        string
 	logLevel       string
+	walDir         string
+	syncEvery      int
 	exitAfterDrain bool
 }
 
@@ -91,6 +95,8 @@ func main() {
 	flag.IntVar(&o.snapshotEvery, "snapshot-every", 0, "advance the resumable-replay watermark every N sequenced jobs (0 = replay full history)")
 	flag.DurationVar(&o.slo, "slo", 0, "submit-latency p99 target; when exceeded the service sheds load with Retry-After (0 = off)")
 	flag.StringVar(&o.logPath, "log", "", "write the deterministic request log to this file")
+	flag.StringVar(&o.walDir, "wal-dir", "", "durable write-ahead log directory; on start the service recovers whatever the directory holds (truncating a torn tail) and resumes")
+	flag.IntVar(&o.syncEvery, "sync-every", 0, "WAL fsync policy: <=1 fsyncs before every ack, N>1 fsyncs every N records (bounded loss window)")
 	flag.StringVar(&o.logLevel, "log-level", "info", "structured log level on stderr: debug, info, warn or error")
 	flag.BoolVar(&o.exitAfterDrain, "exit-after-drain", false, "exit cleanly once a POST /v1/drain completes")
 	flag.Parse()
@@ -138,6 +144,8 @@ func run(ctx context.Context, o options, ready chan<- string, w io.Writer) error
 		SpacingMS:     o.spacingMS,
 		SnapshotEvery: o.snapshotEvery,
 		SLOTargetP99:  o.slo,
+		WALDir:        o.walDir,
+		SyncEvery:     o.syncEvery,
 		Logger:        lg,
 	}
 	var logFile *os.File
@@ -153,6 +161,15 @@ func run(ctx context.Context, o options, ready chan<- string, w io.Writer) error
 	svc, err := serve.New(cfg)
 	if err != nil {
 		return err
+	}
+	if rec := svc.Recovered(); rec != nil {
+		if rec.Torn != nil {
+			fmt.Fprintf(w, "snserved: recovered %d jobs from %s (torn tail truncated at segment %d offset %d: %s)\n",
+				len(rec.Jobs), o.walDir, rec.Torn.Segment, rec.Torn.Offset, rec.Torn.Reason)
+		} else if len(rec.Jobs) > 0 {
+			fmt.Fprintf(w, "snserved: recovered %d jobs from %s (%d segment(s), clean tail)\n",
+				len(rec.Jobs), o.walDir, rec.Segments)
+		}
 	}
 	ln, err := net.Listen("tcp", o.addr)
 	if err != nil {
@@ -185,9 +202,19 @@ func run(ctx context.Context, o options, ready chan<- string, w io.Writer) error
 		return err
 	}
 	summary(w, res)
+	// Release the durability layer and the request log with real fsyncs
+	// on the signal path too (not just after an API drain): a clean exit
+	// must leave both fully on disk, and a failure must reach the exit
+	// code rather than vanish with the process.
+	if err := svc.Close(); err != nil {
+		return err
+	}
 	if logFile != nil {
+		if err := logFile.Sync(); err != nil {
+			return fmt.Errorf("request log sync: %w", err)
+		}
 		if err := logFile.Close(); err != nil {
-			return err
+			return fmt.Errorf("request log close: %w", err)
 		}
 		fmt.Fprintf(w, "request log: %s (replay with: snsched -trace %s)\n", o.logPath, o.logPath)
 	}

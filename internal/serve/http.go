@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"strconv"
 	"time"
@@ -132,6 +133,13 @@ func (s *Service) Handler() http.Handler {
 		st, err := s.Submit(req)
 		if err != nil {
 			writeErr(w, err)
+			return
+		}
+		if st.Result != nil {
+			// A durable-synchronous submit (WAL attached) acks with the
+			// full sequenced status; the schedule projection is not a
+			// shape the zero-alloc renderer covers.
+			writeJSON(w, http.StatusAccepted, st)
 			return
 		}
 		buf.out = appendJobStatusJSON(buf.out[:0], st)
@@ -317,6 +325,100 @@ func (c *Client) Submit(req SubmitRequest) (*JobStatus, error) {
 		return nil, err
 	}
 	return &st, nil
+}
+
+// RetryPolicy shapes SubmitRetry's backoff: capped exponential with
+// full jitter, honoring the server's Retry-After hint, bounded by an
+// attempt cap and an overall deadline.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of submit attempts (default 5).
+	MaxAttempts int
+	// BaseDelay seeds the exponential backoff (default 50ms); attempt n
+	// backs off up to BaseDelay·2ⁿ.
+	BaseDelay time.Duration
+	// MaxDelay caps one backoff step and the honored Retry-After hint
+	// (default 2s), so a pathological hint cannot stall the client.
+	MaxDelay time.Duration
+	// Deadline bounds the whole retry sequence; 0 means attempts-only.
+	// The client never starts a sleep that would cross the deadline.
+	Deadline time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 5
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 50 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 2 * time.Second
+	}
+	return p
+}
+
+// backoff returns the jittered sleep before retry attempt+1: full
+// jitter over the capped exponential step, where a Retry-After hint
+// (capped too) replaces the step.
+func (p RetryPolicy) backoff(attempt int, hint time.Duration) time.Duration {
+	d := p.BaseDelay << attempt
+	if d <= 0 || d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	if hint > 0 {
+		d = hint
+		if d > p.MaxDelay {
+			d = p.MaxDelay
+		}
+	}
+	// Full jitter: spread retries over (0, d] so synchronized clients
+	// do not re-arrive in lockstep.
+	return time.Duration(rand.Int64N(int64(d))) + 1
+}
+
+// SubmitRetry submits one job with retries under pol. Backpressure
+// responses (queue full, overload shed) always retry; transport
+// failures — where the client cannot know whether the service
+// sequenced the job — retry only when the request carries an
+// IdempotencyKey, because only then is a replayed submission safe.
+// Validation, quota, duplicate-id and draining errors fail fast. It
+// returns the status, how many retries were spent, and the last error
+// when attempts or the deadline ran out.
+func (c *Client) SubmitRetry(req SubmitRequest, pol RetryPolicy) (*JobStatus, int, error) {
+	pol = pol.withDefaults()
+	var deadline time.Time
+	if pol.Deadline > 0 {
+		deadline = time.Now().Add(pol.Deadline)
+	}
+	retries := 0
+	for attempt := 0; ; attempt++ {
+		st, err := c.Submit(req)
+		if err == nil {
+			return st, retries, nil
+		}
+		var hint time.Duration
+		var ae *APIError
+		switch {
+		case errors.As(err, &ae):
+			if !errors.Is(err, ErrQueueFull) && !errors.Is(err, ErrOverloaded) {
+				return nil, retries, err
+			}
+			hint = ae.RetryAfter
+		case req.IdempotencyKey == "":
+			// Ambiguous transport failure and no key: a blind resubmit
+			// could double-sequence.
+			return nil, retries, err
+		}
+		if attempt+1 >= pol.MaxAttempts {
+			return nil, retries, err
+		}
+		sleep := pol.backoff(attempt, hint)
+		if !deadline.IsZero() && time.Now().Add(sleep).After(deadline) {
+			return nil, retries, err
+		}
+		time.Sleep(sleep)
+		retries++
+	}
 }
 
 // Status fetches one job's status by full id ("tenant/name").

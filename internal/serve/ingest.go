@@ -110,6 +110,8 @@ func (d *jsonScan) field(req *SubmitRequest, key []byte) error {
 		sp = &req.Schedule
 	case foldEq(key, "manager"):
 		sp = &req.Manager
+	case foldEq(key, "idempotency_key"):
+		sp = &req.IdempotencyKey
 	case foldEq(key, "batch"):
 		ip = &req.Batch
 	case foldEq(key, "priority"):
@@ -516,6 +518,12 @@ func appendJobStatusJSON(dst []byte, st *JobStatus) []byte {
 	if st.Reason != "" {
 		dst = append(dst, ",\n  \"reason\": "...)
 		dst = appendJSONString(dst, st.Reason)
+	}
+	if st.Durable {
+		dst = append(dst, ",\n  \"durable\": true"...)
+	}
+	if st.Deduped {
+		dst = append(dst, ",\n  \"deduped\": true"...)
 	}
 	dst = append(dst, "\n}\n"...)
 	return dst

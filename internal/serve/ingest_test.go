@@ -78,6 +78,9 @@ func TestAppendJobStatusJSONMatchesEncodingJSON(t *testing.T) {
 		{ID: `q"uote\back`, Tenant: "<tag>&amp", State: StateQueued, Seq: -1, ArrivalMS: 12345},
 		{ID: "uni/\u00e9\u4f60", Tenant: "u2028\u2028u2029\u2029", State: StateRejected, Seq: 4, Reason: "bad\nreason\ttabs"},
 		{ID: "bad/\xff\xfeutf8", Tenant: "t", State: StateQueued, Seq: -1},
+		{ID: "d/j", Tenant: "d", State: StateScheduled, Shard: 1, Seq: 9, ArrivalMS: 9, Durable: true},
+		{ID: "d/j2", Tenant: "d", State: StateQueued, Seq: -1, Deduped: true},
+		{ID: "d/j3", Tenant: "d", State: StateScheduled, Seq: 0, Durable: true, Deduped: true},
 	}
 	for _, st := range cases {
 		want, err := json.MarshalIndent(st, "", "  ")
@@ -98,6 +101,7 @@ func TestAppendJobStatusJSONMatchesEncodingJSON(t *testing.T) {
 func FuzzDecodeSubmitRequest(f *testing.F) {
 	f.Add([]byte(`{"tenant":"acme","id":"j1","network":"AlexNet","batch":256,"priority":3,"iterations":4}`))
 	f.Add([]byte(`{"network":"x","schedule":"16x2,32","manager":"vdnn"}`))
+	f.Add([]byte(`{"network":"x","idempotency_key":"cl00-k001","IDEMPOTENCY_KEY":"shout"}`))
 	f.Add([]byte(`{"NeTwOrK":"x","unknown":[{"deep":null},true,1.5e3]}`))
 	f.Add([]byte(`{"id":"\ud83d\ude00 \u00e9 \\ \" \n","network":"x","batch":1}`))
 	f.Add([]byte(`{"id":"\ud800 lone","network":"x"}`))

@@ -3,6 +3,7 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"sort"
 	"sync"
 	"time"
@@ -24,10 +25,20 @@ type LoadConfig struct {
 	// offset so tenants mix shapes; nil means the bundled static +
 	// dynamic traces.
 	Templates []workload.TraceJob
-	// SubmitRetries retries a queue-full submission after RetryDelay
-	// (defaults 50 × 2ms) — backpressure, not failure.
+	// SubmitRetries caps the retry attempts of one submission after
+	// backpressure (defaults 50 × 2ms RetryDelay) — backpressure, not
+	// failure. A submission that runs out of attempts counts as both
+	// Failed and Exhausted.
 	SubmitRetries int
 	RetryDelay    time.Duration
+	// Idempotent attaches a deterministic IdempotencyKey to every
+	// submission and retries transport failures too (a replayed
+	// submission dedupes server-side instead of double-sequencing), so
+	// the load survives a service crash and restart mid-run.
+	Idempotent bool
+	// ThinkTime spaces one client's consecutive submissions; 0 submits
+	// back to back.
+	ThinkTime time.Duration
 	// Drain drains the service after all submissions.
 	Drain bool
 }
@@ -40,6 +51,9 @@ type LoadReport struct {
 	Shed        int // overload (SLO shed) responses absorbed by retries
 	QuotaDenied int // submissions refused by tenant quota
 	Failed      int // submissions lost after retries or on other errors
+	Retries     int // retry sleeps taken across all submissions
+	Exhausted   int // submissions that ran out of retry attempts
+	Deduped     int // submissions answered from the idempotency index
 
 	Elapsed    time.Duration
 	Throughput float64 // successful submissions per wall-clock second
@@ -124,21 +138,36 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 					req.Schedule = tpl.BatchSchedule.String()
 					req.Batch = 0
 				}
-				lat, kind, full, shed, shard := submitWithRetry(cfg, req)
+				if cfg.Idempotent {
+					// Deterministic per (client, slot), so a resubmission
+					// of the same logical job carries the same key.
+					req.IdempotencyKey = fmt.Sprintf("%s-k%03d", tenant, k)
+				}
+				out := submitWithRetry(cfg, req)
 				mu.Lock()
-				switch kind {
+				switch out.kind {
 				case submitOK:
 					rep.Submitted++
-					latencies = append(latencies, lat)
-					byShard[shard] = append(byShard[shard], lat)
+					latencies = append(latencies, out.lat)
+					byShard[out.shard] = append(byShard[out.shard], out.lat)
+					if out.deduped {
+						rep.Deduped++
+					}
 				case submitQuota:
 					rep.QuotaDenied++
 				case submitFailed:
 					rep.Failed++
+				case submitExhausted:
+					rep.Failed++
+					rep.Exhausted++
 				}
-				rep.QueueFull += full
-				rep.Shed += shed
+				rep.QueueFull += out.full
+				rep.Shed += out.shed
+				rep.Retries += out.retries
 				mu.Unlock()
+				if cfg.ThinkTime > 0 && k+1 < cfg.JobsPerClient {
+					time.Sleep(cfg.ThinkTime)
+				}
 			}
 		}(ci)
 	}
@@ -184,54 +213,86 @@ const (
 	submitOK = iota
 	submitQuota
 	submitFailed
+	submitExhausted
 )
 
+// submitOutcome is one submission's aggregate over its attempts.
+type submitOutcome struct {
+	lat     time.Duration
+	kind    int
+	full    int // queue-full responses absorbed
+	shed    int // overload responses absorbed
+	retries int // retry sleeps taken
+	shard   int // sequencing shard of a successful submission
+	deduped bool
+}
+
 // submitWithRetry submits one job, absorbing queue-full and overload
-// backpressure. It returns the last attempt's latency, the outcome,
-// how many queue-full and shed responses were absorbed, and the shard
-// that sequenced a successful submission.
-func submitWithRetry(cfg LoadConfig, req SubmitRequest) (time.Duration, int, int, int, int) {
-	full, shed := 0, 0
+// backpressure up to the attempt cap. In idempotent mode transport
+// failures retry too — the key makes a replayed submission safe — which
+// is what lets a load run ride out a service crash and restart.
+func submitWithRetry(cfg LoadConfig, req SubmitRequest) submitOutcome {
+	var out submitOutcome
 	for attempt := 0; ; attempt++ {
 		t0 := time.Now()
 		st, err := cfg.Target.Submit(req)
-		lat := time.Since(t0)
+		out.lat = time.Since(t0)
+		var ae *APIError
 		switch {
 		case err == nil:
-			return lat, submitOK, full, shed, st.Shard
+			out.kind, out.shard, out.deduped = submitOK, st.Shard, st.Deduped
+			return out
 		case errors.Is(err, ErrQuota):
-			return lat, submitQuota, full, shed, 0
-		case errors.Is(err, ErrQueueFull) && attempt < cfg.SubmitRetries:
-			full++
-			time.Sleep(retryDelay(cfg, err))
-		case errors.Is(err, ErrOverloaded) && attempt < cfg.SubmitRetries:
-			shed++
-			time.Sleep(retryDelay(cfg, err))
+			out.kind = submitQuota
+			return out
+		case errors.Is(err, ErrQueueFull):
+			if attempt >= cfg.SubmitRetries {
+				out.kind = submitExhausted
+				return out
+			}
+			out.full++
+		case errors.Is(err, ErrOverloaded):
+			if attempt >= cfg.SubmitRetries {
+				out.kind = submitExhausted
+				return out
+			}
+			out.shed++
+		case cfg.Idempotent && !errors.As(err, &ae):
+			// Transport failure (no HTTP response): replaying the same
+			// key cannot double-sequence.
+			if attempt >= cfg.SubmitRetries {
+				out.kind = submitExhausted
+				return out
+			}
 		default:
-			return lat, submitFailed, full, shed, 0
+			out.kind = submitFailed
+			return out
 		}
+		out.retries++
+		time.Sleep(retryDelay(cfg, err))
 	}
 }
 
-// retryDelay honors a server Retry-After hint when present, capped so
-// a pessimistic hint cannot stall the generator, and falls back to the
-// configured delay.
+// retryDelay picks the sleep before the next attempt: the server's
+// Retry-After hint when present — capped so a pathological hint cannot
+// stall the generator — or the configured delay, with full jitter over
+// (0, delay] either way so retrying clients spread out instead of
+// re-arriving in lockstep.
 func retryDelay(cfg LoadConfig, err error) time.Duration {
+	d := cfg.RetryDelay
+	max := 50 * cfg.RetryDelay
 	var re *RetryableError
-	if errors.As(err, &re) && re.RetryAfter > 0 {
-		if max := 50 * cfg.RetryDelay; re.RetryAfter > max {
-			return max
-		}
-		return re.RetryAfter
-	}
 	var ae *APIError
-	if errors.As(err, &ae) && ae.RetryAfter > 0 {
-		if max := 50 * cfg.RetryDelay; ae.RetryAfter > max {
-			return max
-		}
-		return ae.RetryAfter
+	switch {
+	case errors.As(err, &re) && re.RetryAfter > 0:
+		d = re.RetryAfter
+	case errors.As(err, &ae) && ae.RetryAfter > 0:
+		d = ae.RetryAfter
 	}
-	return cfg.RetryDelay
+	if d > max {
+		d = max
+	}
+	return time.Duration(rand.Int64N(int64(d))) + 1
 }
 
 func percentile(sorted []time.Duration, p float64) time.Duration {

@@ -80,6 +80,14 @@ func (s *Service) mergeLocked(sh *shard, base int64) {
 		j.tj.ArrivalMS = int64(j.seq) * s.cfg.SpacingMS
 		s.log = append(s.log, j.tj)
 		s.logWrite(workload.FormatJob(j.tj))
+		if s.wal != nil && s.walErr == nil {
+			if err := s.wal.appendJob(j.tj, j.key); err != nil {
+				// Latch the failure: no further acks until an operator
+				// intervenes, since durability can no longer be promised.
+				s.walErr = err
+				s.lg.Error("wal append failed", "id", j.tj.ID, "err", err)
+			}
+		}
 		s.queued[j.tenant]--
 		s.pending--
 		ty := &s.byShard[j.shard]
@@ -100,6 +108,18 @@ func (s *Service) mergeLocked(sh *shard, base int64) {
 		flushed++
 	}
 	if flushed > 0 {
+		if s.wal != nil && s.walErr == nil {
+			// Group commit: one fsync covers the whole merge batch (or,
+			// in grouped mode, waits for SyncEvery records). Must run
+			// before the broadcast so an on-ack waiter that wakes with
+			// seq assigned is already durable.
+			d, err := s.wal.commit()
+			s.durable = d
+			if err != nil {
+				s.walErr = err
+				s.lg.Error("wal sync failed", "err", err)
+			}
+		}
 		s.advanceWatermarkLocked()
 		s.cond.Broadcast()
 	}
@@ -148,6 +168,7 @@ func (s *Service) resultLocked() (*sched.Result, error) {
 // motion comes from the (memoized) suffix replay. Caller holds s.mu.
 func (s *Service) sequencedStatusLocked(j *job) *JobStatus {
 	st := &JobStatus{ID: j.tj.ID, Tenant: j.tenant, Shard: j.shard, Seq: j.seq, ArrivalMS: j.tj.ArrivalMS}
+	st.Durable = s.wal != nil && j.seq < s.durable
 	var jr sched.JobResult
 	done := false
 	if s.inc != nil && s.incErr == nil {

@@ -1,0 +1,262 @@
+package serve
+
+// The read side of the write-ahead log: scan segments in order,
+// validate every frame, and rebuild the merged-log prefix a restarted
+// service resumes from.
+//
+// The torn-tail rule: a frame-level failure — truncated header,
+// truncated payload, checksum mismatch — is the signature of a crash
+// mid-write, so recovery stops there, keeps everything before it, and
+// reports the tear (RecoveredLog.Torn) so the writer can truncate the
+// file and resume appending at that exact byte. Everything after the
+// first bad frame is dropped even if later bytes happen to look like
+// frames: an append-only log can only tear at its tail, so bytes past
+// a tear are either garbage or half-written.
+//
+// A structurally valid frame whose *content* is wrong — an unparseable
+// job line, an arrival off the slot grid, a duplicate id, a segment
+// header naming the wrong segment — is NOT a crash artifact (the
+// checksum proves those bytes were written deliberately), so it
+// surfaces as a named ErrWALCorrupt instead of being silently
+// truncated away. Recovery never panics on any input; FuzzRecoverWAL
+// holds it to that.
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/workload"
+)
+
+// Named recovery errors. errors.Is matches them through the wrapped
+// context every failure carries.
+var (
+	// ErrWALCorrupt: a checksummed frame holds content the writer could
+	// never have produced (bad job line, off-grid arrival, duplicate
+	// id, mismatched segment header). The log needs operator attention;
+	// auto-truncating it could silently discard acked submissions.
+	ErrWALCorrupt = errors.New("serve: wal corrupt")
+	// ErrWALGap: the segment chain is missing a middle segment, so the
+	// recovered prefix would have a hole — unrecoverable automatically.
+	ErrWALGap = errors.New("serve: wal segment gap")
+	// ErrWALSpacing: the recovered log was merged at a different
+	// virtual-arrival spacing than the service is configured for.
+	ErrWALSpacing = errors.New("serve: wal spacing mismatch")
+)
+
+// IdemEntry is one recovered idempotency binding: a retry of Key must
+// return job ID instead of sequencing a new job.
+type IdemEntry struct {
+	Key string
+	ID  string
+}
+
+// TornTail locates the first bad frame of a recovered WAL: everything
+// from Offset in Segment onward is dropped.
+type TornTail struct {
+	Segment int
+	Offset  int64
+	// Reason is the frame error that marked the tear.
+	Reason string
+}
+
+// RecoveredLog is the state rebuilt from a WAL directory.
+type RecoveredLog struct {
+	// Jobs is the recovered merged-log prefix, in slot order; job i's
+	// arrival is i·SpacingMS, exactly as the uninterrupted run merged
+	// it.
+	Jobs []workload.TraceJob
+	// Idem holds the surviving idempotency bindings in log order. A
+	// binding whose job record fell past the tear is dropped: its
+	// submitter was never acked, and the retry must re-sequence.
+	Idem []IdemEntry
+	// SpacingMS is the virtual-arrival spacing recorded in the segment
+	// headers; 0 when the directory held no readable segments.
+	SpacingMS int64
+	// Segments counts the segment files present on disk (including any
+	// past the tear that recovery dropped).
+	Segments int
+	// Torn is non-nil when the log ended in a torn tail rather than a
+	// clean frame boundary.
+	Torn *TornTail
+}
+
+// RecoverWAL scans a WAL directory and rebuilds the merged-log prefix.
+// It is read-only: truncating the tear on disk is the writer's job
+// (the service does it when it reopens the WAL for appending). An
+// empty or absent directory recovers an empty log.
+func RecoverWAL(dir string) (*RecoveredLog, error) {
+	segs, err := walSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	rec := &RecoveredLog{Segments: len(segs)}
+	seen := make(map[string]bool)
+	var pendingKey, pendingID string
+	var pendingSeg int
+	var pendingOff int64
+	pending := false
+
+	for n, path := range segs {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("serve: wal: %w", err)
+		}
+		var off int64
+		tear := func(reason error) {
+			// A pending idem directive is part of the torn tail too: its
+			// job record never made it to disk, so the tear moves back to
+			// the directive's own frame — otherwise repair would leave a
+			// dangling directive that shadows the next append.
+			if pending {
+				rec.Torn = &TornTail{Segment: pendingSeg, Offset: pendingOff,
+					Reason: reason.Error() + " (dangling idem directive dropped)"}
+				return
+			}
+			rec.Torn = &TornTail{Segment: n, Offset: off, Reason: reason.Error()}
+		}
+
+		// Segment header frame.
+		payload, rest, err := workload.ReadFrame(data)
+		if err != nil {
+			tear(err)
+			return rec, nil
+		}
+		segIdx, spacing, err := parseWALHeader(string(payload))
+		if err != nil {
+			return nil, fmt.Errorf("%w: segment %d header: %v", ErrWALCorrupt, n, err)
+		}
+		if segIdx != n {
+			return nil, fmt.Errorf("%w: segment file %d declares index %d", ErrWALCorrupt, n, segIdx)
+		}
+		if rec.SpacingMS == 0 {
+			rec.SpacingMS = spacing
+		} else if spacing != rec.SpacingMS {
+			return nil, fmt.Errorf("%w: segment %d merged at %d ms, chain started at %d ms",
+				ErrWALCorrupt, n, spacing, rec.SpacingMS)
+		}
+		off = int64(workload.FrameSize(len(payload)))
+
+		for len(rest) > 0 {
+			payload, rest, err = workload.ReadFrame(rest)
+			if err != nil {
+				tear(err)
+				return rec, nil
+			}
+			line := string(payload)
+			switch {
+			case strings.HasPrefix(line, "# idem "):
+				key, id, err := parseWALIdem(line)
+				if err != nil {
+					return nil, fmt.Errorf("%w: segment %d offset %d: %v", ErrWALCorrupt, n, off, err)
+				}
+				if pending {
+					return nil, fmt.Errorf("%w: segment %d offset %d: idem directive %q shadows an unbound directive %q",
+						ErrWALCorrupt, n, off, key, pendingKey)
+				}
+				pendingKey, pendingID, pending = key, id, true
+				pendingSeg, pendingOff = n, off
+			case strings.HasPrefix(line, "#"):
+				return nil, fmt.Errorf("%w: segment %d offset %d: unexpected directive %q", ErrWALCorrupt, n, off, line)
+			default:
+				jobs, err := workload.ParseTrace(strings.NewReader(line))
+				if err != nil || len(jobs) != 1 {
+					return nil, fmt.Errorf("%w: segment %d offset %d: bad job record: %v", ErrWALCorrupt, n, off, err)
+				}
+				tj := jobs[0]
+				if seen[tj.ID] {
+					return nil, fmt.Errorf("%w: segment %d offset %d: duplicate job id %q", ErrWALCorrupt, n, off, tj.ID)
+				}
+				if want := int64(len(rec.Jobs)) * rec.SpacingMS; tj.ArrivalMS != want {
+					return nil, fmt.Errorf("%w: segment %d offset %d: job %q arrival %d ms, slot grid says %d ms",
+						ErrWALCorrupt, n, off, tj.ID, tj.ArrivalMS, want)
+				}
+				if pending {
+					if pendingID != tj.ID {
+						return nil, fmt.Errorf("%w: segment %d offset %d: idem directive binds %q, next record is %q",
+							ErrWALCorrupt, n, off, pendingID, tj.ID)
+					}
+					rec.Idem = append(rec.Idem, IdemEntry{Key: pendingKey, ID: pendingID})
+					pending = false
+				}
+				seen[tj.ID] = true
+				rec.Jobs = append(rec.Jobs, tj)
+			}
+			off += int64(workload.FrameSize(len(payload)))
+		}
+	}
+	// A dangling final directive (its job record never made it to disk)
+	// is a torn tail even when every frame read cleanly: the submitter
+	// was never acked, and the writer must truncate the directive before
+	// appending or it would shadow the next record's directive.
+	if pending {
+		rec.Torn = &TornTail{Segment: pendingSeg, Offset: pendingOff,
+			Reason: fmt.Sprintf("dangling idem directive %q (job record never written)", pendingKey)}
+	}
+	return rec, nil
+}
+
+// walSegments lists the directory's segment files in chain order,
+// requiring the chain to start at 0 and be contiguous.
+func walSegments(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("serve: wal: %w", err)
+	}
+	idx := make(map[int]string)
+	max := -1
+	for _, e := range entries {
+		name := e.Name()
+		var n int
+		if _, err := fmt.Sscanf(name, "wal-%d.seg", &n); err != nil || walSegmentName(n) != name {
+			continue // not a segment file; leave it alone
+		}
+		idx[n] = filepath.Join(dir, name)
+		if n > max {
+			max = n
+		}
+	}
+	segs := make([]string, 0, len(idx))
+	for n := 0; n <= max; n++ {
+		path, ok := idx[n]
+		if !ok {
+			return nil, fmt.Errorf("%w: segment %d of %d missing", ErrWALGap, n, max)
+		}
+		segs = append(segs, path)
+	}
+	return segs, nil
+}
+
+// parseWALHeader validates a segment header line and extracts the
+// segment index and spacing.
+func parseWALHeader(line string) (seg int, spacingMS int64, err error) {
+	f := strings.Fields(line)
+	// "# snwal 1 seg <n> spacing <ms>"
+	if len(f) != 7 || f[0] != "#" || f[1]+" "+f[2] != walMagic || f[3] != "seg" || f[5] != "spacing" {
+		return 0, 0, fmt.Errorf("bad header %q", strings.TrimSuffix(line, "\n"))
+	}
+	if seg, err = strconv.Atoi(f[4]); err != nil || seg < 0 {
+		return 0, 0, fmt.Errorf("bad segment index %q", f[4])
+	}
+	if spacingMS, err = strconv.ParseInt(f[6], 10, 64); err != nil || spacingMS <= 0 {
+		return 0, 0, fmt.Errorf("bad spacing %q", f[6])
+	}
+	return seg, spacingMS, nil
+}
+
+// parseWALIdem validates an idempotency directive line.
+func parseWALIdem(line string) (key, id string, err error) {
+	f := strings.Fields(line)
+	// "# idem <key> <id>"
+	if len(f) != 4 || f[0] != "#" || f[1] != "idem" {
+		return "", "", fmt.Errorf("bad idem directive %q", strings.TrimSuffix(line, "\n"))
+	}
+	return f[2], f[3], nil
+}

@@ -64,6 +64,10 @@ import (
 // leaves it 0.
 const DefaultQueueDepth = 256
 
+// DefaultIdempotencyCap bounds the idempotency dedup index when Config
+// leaves it 0: the service remembers the most recent this-many keys.
+const DefaultIdempotencyCap = 4096
+
 // Sentinel errors of the submission path; the HTTP layer maps each to
 // a status code.
 var (
@@ -135,6 +139,27 @@ type Config struct {
 	// one trace line per merged job. The accumulated bytes are at
 	// every instant a valid workload trace equal to ReplayLog().
 	RequestLog io.Writer
+	// WALDir, when non-empty, arms the durability layer: every merged
+	// job is appended to a segmented write-ahead log under this
+	// directory before submitters are acked, and New recovers whatever
+	// the directory already holds (truncating a torn tail) so a
+	// restarted service resumes with the identical merged log. With a
+	// WAL attached (and Manual unset) Submit blocks until the job is
+	// sequenced — and, under the on-ack sync policy, durable — and
+	// returns the sequenced status instead of StateQueued.
+	WALDir string
+	// SyncEvery sets the WAL fsync policy: <= 1 fsyncs before every ack
+	// (an acked submission survives kill -9); N > 1 fsyncs every N
+	// records, trading a bounded loss window (at most N-1 acked-but-
+	// unsynced records) for fewer fsyncs.
+	SyncEvery int
+	// SegmentBytes rotates WAL segments past this size (default
+	// DefaultSegmentBytes).
+	SegmentBytes int64
+	// IdempotencyCap bounds the dedup index of remembered
+	// IdempotencyKeys (default DefaultIdempotencyCap). The oldest key
+	// is evicted first; an evicted key no longer dedupes.
+	IdempotencyCap int
 	// Logger receives structured service events (admissions, sequencing,
 	// watermark advances, shedding); nil discards them. Per-job events
 	// log at Debug, lifecycle transitions at Info/Warn.
@@ -182,6 +207,14 @@ type SubmitRequest struct {
 	Priority int `json:"priority,omitempty"`
 	// Iterations is the training length (default 1).
 	Iterations int `json:"iterations,omitempty"`
+	// IdempotencyKey, when non-empty, makes the submission retry-safe:
+	// a later submit carrying the same key returns the original job's
+	// status (Deduped set) instead of sequencing a new job. With a WAL
+	// attached the binding survives a crash, so a retry after a lost
+	// ack can never double-sequence. Keys share the request-log token
+	// alphabet (no whitespace or '#') and live in a bounded index; see
+	// Config.IdempotencyCap.
+	IdempotencyKey string `json:"idempotency_key,omitempty"`
 }
 
 // JobStatus is the service's view of one job.
@@ -200,6 +233,12 @@ type JobStatus struct {
 	ArrivalMS int64 `json:"arrival_ms"`
 	// Reason explains a rejection.
 	Reason string `json:"reason,omitempty"`
+	// Durable reports that the job's WAL record is covered by an fsync
+	// (always false without a WAL).
+	Durable bool `json:"durable,omitempty"`
+	// Deduped marks a submit response that resolved to a previously
+	// submitted job via its IdempotencyKey.
+	Deduped bool `json:"deduped,omitempty"`
 	// Result is the projected schedule of a sequenced job, replayed
 	// from the request log.
 	Result *sched.JobResult `json:"result,omitempty"`
@@ -258,6 +297,7 @@ type Metrics struct {
 type job struct {
 	tj     workload.TraceJob
 	tenant string
+	key    string // idempotency key, "" when the client sent none
 	shard  int
 	sub    int // global submission order
 	seq    int // request-log position; -1 while queued (guarded by Service.mu)
@@ -296,6 +336,20 @@ type Service struct {
 	log     []workload.TraceJob
 	byShard []shardTally
 	logErr  error
+
+	// Durability (Config.WALDir). wal is the append handle; durable is
+	// the job-record count covered by the last fsync; walErr latches
+	// the first append/sync failure (once set, acks stop). rec is the
+	// state New recovered at start, nil without a WAL.
+	wal     *wal
+	durable int
+	walErr  error
+	rec     *RecoveredLog
+
+	// Idempotency dedup index: key -> job, bounded FIFO (idemOrder is
+	// insertion order; the front evicts first).
+	idem      map[string]*job
+	idemOrder []string
 
 	// inc is the resumable replay (SnapshotEvery > 0); lastAdv is the
 	// log length at its last watermark advance.
@@ -343,12 +397,16 @@ func New(cfg Config) (*Service, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.IdempotencyCap <= 0 {
+		cfg.IdempotencyCap = DefaultIdempotencyCap
+	}
 	s := &Service{
 		cfg:     cfg,
 		sch:     sch,
 		byID:    make(map[string]*job),
 		count:   make(map[string]int),
 		queued:  make(map[string]int),
+		idem:    make(map[string]*job),
 		byShard: make([]shardTally, cfg.Shards),
 		drainCh: make(chan struct{}),
 	}
@@ -374,6 +432,11 @@ func New(cfg Config) (*Service, error) {
 		s.shards[i] = newShard(i)
 	}
 	s.logWrite(workload.TraceHeader)
+	if cfg.WALDir != "" {
+		if err := s.attachWAL(); err != nil {
+			return nil, err
+		}
+	}
 	if !cfg.Manual {
 		for _, sh := range s.shards {
 			go s.shardLoop(sh)
@@ -383,6 +446,73 @@ func New(cfg Config) (*Service, error) {
 		"snapshot_every", cfg.SnapshotEvery, "policy", cfg.Policy.Name)
 	return s, nil
 }
+
+// attachWAL opens (and recovers) the write-ahead log and seeds the
+// service with the recovered prefix: the merged log, per-shard and
+// per-tenant tallies, the slot counter, and the surviving idempotency
+// bindings, exactly as if the recovered jobs had just been sequenced.
+// Runs from New, before any concurrency, so no locks are needed.
+func (s *Service) attachWAL() error {
+	w, rec, err := openWAL(s.cfg.WALDir, s.cfg.SpacingMS, s.cfg.SegmentBytes, s.cfg.SyncEvery)
+	if err != nil {
+		return err
+	}
+	s.wal, s.rec = w, rec
+	s.durable = len(rec.Jobs)
+	for i, tj := range rec.Jobs {
+		tenant := tj.ID
+		if cut := strings.IndexByte(tenant, '/'); cut >= 0 {
+			tenant = tenant[:cut]
+		}
+		sh := s.shardOf(tenant)
+		j := &job{tj: tj, tenant: tenant, shard: sh.idx, sub: i, seq: i, local: sh.local}
+		sh.local++
+		if s.count[tenant] == 0 {
+			s.tenants = append(s.tenants, tenant)
+		}
+		s.count[tenant]++
+		s.subs++
+		s.byID[tj.ID] = j
+		s.log = append(s.log, tj)
+		ty := &s.byShard[sh.idx]
+		ty.sequenced++
+		ty.log = append(ty.log, tj)
+		s.logWrite(workload.FormatJob(tj))
+		if s.inc != nil && s.incErr == nil {
+			if _, err := s.inc.Append(sched.JobFromTrace(tj)); err != nil {
+				s.incErr = err
+				s.lg.Error("incremental replay append failed on recovery", "id", tj.ID, "err", err)
+			}
+		}
+	}
+	// Rebind the surviving idempotency keys, newest-first wins the
+	// bounded index (the recovered list is in log order).
+	idem := rec.Idem
+	if len(idem) > s.cfg.IdempotencyCap {
+		idem = idem[len(idem)-s.cfg.IdempotencyCap:]
+	}
+	for _, e := range idem {
+		if j, ok := s.byID[e.ID]; ok {
+			j.key = e.Key
+			s.idem[e.Key] = j
+			s.idemOrder = append(s.idemOrder, e.Key)
+		}
+	}
+	s.slots.Store(int64(len(rec.Jobs)))
+	s.advanceWatermarkLocked()
+	if rec.Torn != nil {
+		s.lg.Warn("wal recovered with torn tail", "jobs", len(rec.Jobs),
+			"segment", rec.Torn.Segment, "offset", rec.Torn.Offset, "reason", rec.Torn.Reason)
+	} else if len(rec.Jobs) > 0 {
+		s.lg.Info("wal recovered", "jobs", len(rec.Jobs), "segments", rec.Segments)
+	}
+	return nil
+}
+
+// Recovered reports the WAL state New restored at start: nil without a
+// WAL, otherwise the recovered prefix (possibly empty) including any
+// torn-tail diagnosis.
+func (s *Service) Recovered() *RecoveredLog { return s.rec }
 
 // shardOf maps a tenant to its shard: a stable hash, so a tenant's
 // jobs always share one queue and keep their FIFO submission order.
@@ -423,25 +553,77 @@ func (s *Service) Submit(req SubmitRequest) (*JobStatus, error) {
 			return nil, err
 		}
 	}
-	st, err := s.submit(req)
+	st, j, err := s.submit(req)
+	if err == nil && s.wal != nil && !s.cfg.Manual {
+		// Durable-synchronous ack: with a WAL attached, an accepted job
+		// is always eventually sequenced (Drain flushes every shard
+		// before stopping), so block until it is — and, under the
+		// on-ack sync policy, until the fsync covering it has run —
+		// then return the sequenced status. Manual mode cannot block:
+		// the caller is the one who must step Advance.
+		st, err = s.awaitDurable(j, st.Deduped)
+	}
 	if s.gov != nil {
 		s.gov.observe(time.Since(t0))
 	}
 	return st, err
 }
 
-func (s *Service) submit(req SubmitRequest) (*JobStatus, error) {
+// awaitDurable blocks until j is sequenced (and durable, in on-ack
+// mode) and returns its sequenced status. A latched WAL failure turns
+// into an error: the service can no longer promise the ack survives.
+func (s *Service) awaitDurable(j *job, deduped bool) (*JobStatus, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for j.seq < 0 && !s.stopped && s.walErr == nil {
+		s.cond.Wait()
+	}
+	if s.cfg.SyncEvery <= 1 {
+		for j.seq >= 0 && s.durable <= j.seq && !s.stopped && s.walErr == nil {
+			s.cond.Wait()
+		}
+	}
+	if s.walErr != nil {
+		return nil, s.walErr
+	}
+	if j.seq < 0 {
+		// Only reachable if the service stopped without sequencing —
+		// which Drain's flush rules out; be defensive anyway.
+		return nil, ErrDraining
+	}
+	st := s.sequencedStatusLocked(j)
+	st.Deduped = deduped
+	return st, nil
+}
+
+func (s *Service) submit(req SubmitRequest) (*JobStatus, *job, error) {
 	tj, tenant, err := s.validate(req)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	sh := s.shardOf(tenant)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	s.mu.Lock()
+	// Idempotent replay resolves before every other admission rule —
+	// including draining: a retry of an already-accepted submission is
+	// not new load, and must keep returning the original ack.
+	if req.IdempotencyKey != "" {
+		if j, ok := s.idem[req.IdempotencyKey]; ok {
+			defer s.mu.Unlock()
+			var st *JobStatus
+			if j.seq >= 0 {
+				st = s.sequencedStatusLocked(j)
+			} else {
+				st = &JobStatus{ID: j.tj.ID, Tenant: j.tenant, State: StateQueued, Shard: j.shard, Seq: -1}
+			}
+			st.Deduped = true
+			return st, j, nil
+		}
+	}
 	if s.draining {
 		s.mu.Unlock()
-		return nil, ErrDraining
+		return nil, nil, ErrDraining
 	}
 	if tj.ID == "" {
 		// Auto ids must dodge user-chosen ones: a request that supplied
@@ -456,11 +638,11 @@ func (s *Service) submit(req SubmitRequest) (*JobStatus, error) {
 	}
 	if _, dup := s.byID[tj.ID]; dup {
 		s.mu.Unlock()
-		return nil, fmt.Errorf("%w: %s", ErrDuplicateID, tj.ID)
+		return nil, nil, fmt.Errorf("%w: %s", ErrDuplicateID, tj.ID)
 	}
 	if q := s.cfg.TenantQuota; q > 0 && s.count[tenant] >= q {
 		s.mu.Unlock()
-		return nil, fmt.Errorf("%w: tenant %s at %d jobs", ErrQuota, tenant, q)
+		return nil, nil, fmt.Errorf("%w: tenant %s at %d jobs", ErrQuota, tenant, q)
 	}
 	if sh.pending >= s.cfg.QueueDepth {
 		s.mu.Unlock()
@@ -468,12 +650,12 @@ func (s *Service) submit(req SubmitRequest) (*JobStatus, error) {
 		// loaded the shard is, so clients back off harder the deeper
 		// the backlog.
 		hint := time.Second * time.Duration(1+2*sh.pending/s.cfg.QueueDepth)
-		return nil, &RetryableError{
+		return nil, nil, &RetryableError{
 			Err:        fmt.Errorf("%w: shard %d at %d pending", ErrQueueFull, sh.idx, sh.pending),
 			RetryAfter: hint,
 		}
 	}
-	j := &job{tj: tj, tenant: tenant, shard: sh.idx, sub: s.subs, seq: -1}
+	j := &job{tj: tj, tenant: tenant, key: req.IdempotencyKey, shard: sh.idx, sub: s.subs, seq: -1}
 	s.subs++
 	if s.count[tenant] == 0 {
 		s.tenants = append(s.tenants, tenant)
@@ -482,6 +664,14 @@ func (s *Service) submit(req SubmitRequest) (*JobStatus, error) {
 	s.queued[tenant]++
 	s.pending++
 	s.byID[tj.ID] = j
+	if j.key != "" {
+		s.idem[j.key] = j
+		s.idemOrder = append(s.idemOrder, j.key)
+		for len(s.idemOrder) > s.cfg.IdempotencyCap {
+			delete(s.idem, s.idemOrder[0])
+			s.idemOrder = s.idemOrder[1:]
+		}
+	}
 	s.mu.Unlock()
 
 	pos := sh.enqueue(tenant, j)
@@ -491,7 +681,7 @@ func (s *Service) submit(req SubmitRequest) (*JobStatus, error) {
 	return &JobStatus{
 		ID: tj.ID, Tenant: tenant, State: StateQueued, Shard: sh.idx,
 		QueuePosition: pos, Seq: -1,
-	}, nil
+	}, j, nil
 }
 
 // validate checks the request shape and dry-runs every distinct batch
@@ -510,6 +700,13 @@ func (s *Service) validate(req SubmitRequest) (workload.TraceJob, string, error)
 	}
 	if strings.Contains(tenant, "/") {
 		return workload.TraceJob{}, "", fmt.Errorf("%w: tenant %q must not contain '/'", ErrBadRequest, tenant)
+	}
+	if req.IdempotencyKey != "" {
+		// Keys land in WAL directive lines, so they share the log's
+		// token alphabet.
+		if err := checkToken("idempotency_key", req.IdempotencyKey); err != nil {
+			return workload.TraceJob{}, "", err
+		}
 	}
 	var tj workload.TraceJob
 	if req.ID != "" {
@@ -774,11 +971,39 @@ func (s *Service) Drain() (*sched.Result, error) {
 		close(s.drainCh)
 		s.lg.Info("drained", "jobs", len(s.log))
 	}
+	if s.wal != nil && s.walErr == nil {
+		// Grouped sync mode may hold acked records below SyncEvery; a
+		// drain is a durability point regardless of policy.
+		if err := s.wal.sync(); err != nil {
+			s.walErr = err
+		} else {
+			s.durable = len(s.log)
+		}
+	}
 	r, err := s.resultLocked()
 	if err == nil {
 		err = s.logErr
 	}
+	if err == nil {
+		err = s.walErr
+	}
 	return r, err
+}
+
+// Close releases the durability layer: a final fsync and close of the
+// current WAL segment. Call after Drain (a drained service appends
+// nothing more); the returned error is the first WAL failure of the
+// service lifetime, so a daemon can surface it in its exit code. Safe
+// without a WAL and safe to call twice.
+func (s *Service) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal != nil {
+		if err := s.wal.close(); err != nil && s.walErr == nil {
+			s.walErr = err
+		}
+	}
+	return s.walErr
 }
 
 // Drained is closed once Drain has run (e.g. via the HTTP API), so a

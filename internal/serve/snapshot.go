@@ -15,13 +15,21 @@ package serve
 //	seq <merged jobs> <spacing ms>
 //	sched <payload bytes>
 //	<sched.EncodeSnapshot payload>
+//	idem <key> <id>        (zero or more)
 //	end
+//
+// The idem lines — added for crash-safe serving — persist the
+// idempotency bindings of sequenced jobs, so a service restored from a
+// checkpoint keeps deduplicating retries. They sit between the sched
+// payload and the end marker; a checkpoint without them (the original
+// format) still decodes, so old artifacts remain restorable.
 //
 // The decoder validates every field and never panics on malformed
 // input (fuzzed in snapshot_test.go).
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"strconv"
 
@@ -34,6 +42,10 @@ const ckptMagic = "snckpt 1"
 // disabled (Config.SnapshotEvery == 0): without a resumable replay
 // there is no scheduler state to capture.
 var ErrNoCheckpoint = fmt.Errorf("serve: checkpoints need SnapshotEvery > 0")
+
+// ErrBadCheckpoint is the sentinel under every RestoreCheckpoint
+// decode failure; errors.Is matches it through the per-field context.
+var ErrBadCheckpoint = errors.New("serve: bad checkpoint")
 
 // Checkpoint serializes the service's current resumable replay. The
 // artifact covers every job sequenced so far (processed up to the
@@ -52,6 +64,13 @@ func (s *Service) Checkpoint() ([]byte, error) {
 	var b bytes.Buffer
 	fmt.Fprintf(&b, "%s\nseq %d %d\nsched %d\n", ckptMagic, len(s.log), s.cfg.SpacingMS, len(payload))
 	b.Write(payload)
+	// Idempotency bindings of sequenced jobs, in insertion order, so a
+	// restore rebuilds the same bounded index.
+	for _, key := range s.idemOrder {
+		if j := s.idem[key]; j != nil && j.seq >= 0 {
+			fmt.Fprintf(&b, "idem %s %s\n", key, j.tj.ID)
+		}
+	}
 	b.WriteString("end\n")
 	s.lg.Info("checkpoint written", "seq", len(s.log), "bytes", b.Len())
 	return b.Bytes(), nil
@@ -65,6 +84,9 @@ type CheckpointState struct {
 	Seq int
 	// SpacingMS is the virtual arrival spacing the log was merged at.
 	SpacingMS int64
+	// Idem holds the persisted idempotency bindings in insertion
+	// order; empty for artifacts from before the idem extension.
+	Idem []IdemEntry
 	// Replay is the restored paused replay.
 	Replay *sched.Incremental
 }
@@ -73,7 +95,7 @@ type CheckpointState struct {
 // a shared estimator to reuse memoized dry runs.
 func RestoreCheckpoint(data []byte, est *sched.Estimator) (*CheckpointState, error) {
 	fail := func(format string, args ...any) (*CheckpointState, error) {
-		return nil, fmt.Errorf("serve: bad checkpoint: "+format, args...)
+		return nil, fmt.Errorf("%w: %s", ErrBadCheckpoint, fmt.Sprintf(format, args...))
 	}
 	line, rest, ok := bytes.Cut(data, []byte{'\n'})
 	if !ok || string(line) != ckptMagic {
@@ -103,15 +125,33 @@ func RestoreCheckpoint(data []byte, est *sched.Estimator) (*CheckpointState, err
 	}
 	inc, err := sched.RestoreIncremental(rest[:n], est)
 	if err != nil {
-		return nil, fmt.Errorf("serve: bad checkpoint payload: %w", err)
+		return nil, fmt.Errorf("%w: payload: %v", ErrBadCheckpoint, err)
 	}
 	if inc.Len() != seq {
 		return fail("payload holds %d jobs, frame declares %d", inc.Len(), seq)
 	}
-	if tail := rest[n:]; string(tail) != "end\n" {
-		return fail("missing end marker")
+	// Trailer: optional idem lines, then the end marker.
+	var idem []IdemEntry
+	tail := rest[n:]
+	for {
+		line, next, ok := bytes.Cut(tail, []byte{'\n'})
+		if !ok {
+			return fail("missing end marker")
+		}
+		if string(line) == "end" {
+			if len(next) != 0 {
+				return fail("%d trailing bytes after end marker", len(next))
+			}
+			break
+		}
+		f := bytes.Fields(line)
+		if len(f) != 3 || string(f[0]) != "idem" {
+			return fail("trailer line %q", string(line))
+		}
+		idem = append(idem, IdemEntry{Key: string(f[1]), ID: string(f[2])})
+		tail = next
 	}
-	return &CheckpointState{Seq: seq, SpacingMS: spacing, Replay: inc}, nil
+	return &CheckpointState{Seq: seq, SpacingMS: spacing, Idem: idem, Replay: inc}, nil
 }
 
 // Resume appends the request-log suffix beyond the checkpoint (entries

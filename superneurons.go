@@ -408,6 +408,15 @@ type (
 	// load generator.
 	LoadConfig = serve.LoadConfig
 	LoadReport = serve.LoadReport
+	// RetryPolicy shapes ServeClient.SubmitRetry: capped exponential
+	// backoff with full jitter, honoring Retry-After, bounded by an
+	// attempt cap and a deadline.
+	RetryPolicy = serve.RetryPolicy
+	// RecoveredLog is what a service rebuilt from its write-ahead log
+	// (ServeConfig.WALDir): the merged-log prefix, the surviving
+	// idempotency bindings, and the torn-tail report if the process
+	// died mid-append.
+	RecoveredLog = serve.RecoveredLog
 )
 
 // NewService starts a job-submission service over the cluster.
@@ -416,6 +425,11 @@ func NewService(cfg ServeConfig) (*Service, error) { return serve.New(cfg) }
 // RunLoad drives a Service with concurrent clients and reports
 // throughput and submission-latency percentiles.
 func RunLoad(cfg LoadConfig) (*LoadReport, error) { return serve.RunLoad(cfg) }
+
+// RecoverWAL reads a service's write-ahead log directory (read-only)
+// and rebuilds the merged-log prefix a restart would resume from,
+// truncating nothing; see ServeConfig.WALDir and DESIGN.md §11.
+func RecoverWAL(dir string) (*RecoveredLog, error) { return serve.RecoverWAL(dir) }
 
 // Summary renders a human-readable report of a run.
 func Summary(r *Result) string {
